@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 5c/5d: Clifford noise resilience predicts circuit fidelity.
+ *
+ * For each of the paper's three devices (IBMQ-Guadalupe, IBMQ-Kolkata,
+ * Rigetti Aspen-M-2 noise model), generate device-aware candidate
+ * circuits of varying size, compute CNR (Eqs. 1-2) and the true fidelity
+ * (1 - TVD of noisy vs ideal outputs, averaged over parameter/input
+ * bindings), and report the correlation. Paper reference: R = 0.924 on
+ * IBMQ-Kolkata and R = 0.935 on the Aspen-M-2 noise model, with a
+ * similarly strong correlation on IBMQ-Guadalupe — CNR is "highly
+ * predictive of circuit fidelity" (Sec. 5.3).
+ */
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+#include "core/candidate_gen.hpp"
+#include "core/cnr.hpp"
+#include "noise/noise_model.hpp"
+
+int
+main()
+{
+    using namespace elv;
+
+    struct Cell
+    {
+        const char *device;
+        double paper_r; // paper-reported correlation (<= 0: unreported)
+        /** Circuit-size step: low-noise devices need larger circuits
+         * for fidelities to spread (the paper's hardware runs use up to
+         * 250 parameters). */
+        int param_step;
+    };
+    const Cell cells[] = {
+        {"ibm_guadalupe", -1.0, 4},
+        {"ibmq_kolkata", 0.924, 8},
+        {"rigetti_aspen_m2", 0.935, 3},
+    };
+
+    Table table("Fig. 5c/d - CNR vs circuit fidelity correlation");
+    table.set_header({"device", "circuits", "CNR range", "fid range",
+                      "Pearson R", "paper R"});
+
+    for (const Cell &cell : cells) {
+        const dev::Device device = dev::make_device(cell.device);
+        const noise::NoisyDensitySimulator noisy(device);
+        elv::Rng rng(8);
+
+        std::vector<double> cnrs, fidelities;
+        core::CandidateConfig config;
+        config.num_qubits = 4;
+        config.num_meas = 4;
+        config.num_features = 4;
+        config.num_embeds = 4;
+
+        const int circuits = 36;
+        for (int n = 0; n < circuits; ++n) {
+            config.num_params = 4 + cell.param_step * (n % 10);
+            const circ::Circuit c =
+                core::generate_candidate(device, config, rng);
+            core::CnrOptions options;
+            options.num_replicas = 24;
+            cnrs.push_back(
+                core::clifford_noise_resilience(c, device, rng, options)
+                    .cnr);
+
+            double fid = 0.0;
+            const int bindings = 8;
+            for (int b = 0; b < bindings; ++b) {
+                std::vector<double> params(
+                    static_cast<std::size_t>(c.num_params()));
+                for (auto &p : params)
+                    p = rng.uniform(-M_PI, M_PI);
+                std::vector<double> x(4);
+                for (auto &v : x)
+                    v = rng.uniform(-M_PI / 2, M_PI / 2);
+                fid += noisy.fidelity(c, params, x) / bindings;
+            }
+            fidelities.push_back(fid);
+        }
+
+        table.add_row(
+            {cell.device, std::to_string(circuits),
+             Table::fmt(min_value(cnrs), 2) + "-" +
+                 Table::fmt(max_value(cnrs), 2),
+             Table::fmt(min_value(fidelities), 2) + "-" +
+                 Table::fmt(max_value(fidelities), 2),
+             Table::fmt(pearson_r(cnrs, fidelities), 3),
+             cell.paper_r > 0 ? Table::fmt(cell.paper_r, 3) : "(high)"});
+    }
+    table.print();
+    std::printf("\nShape check: CNR correlates strongly and positively "
+                "with fidelity on every\ndevice, enabling early "
+                "rejection of low-fidelity circuits (Insight 3).\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Figure 6b: RepCap predicts circuit performance on FMNIST-2 as well as
+ * a trained SuperCircuit does — without any training.
+ *
+ * Left panel analog: Elivagar candidates' RepCap vs their trained test
+ * accuracy (paper: R = 0.708). Right panel analog: SuperCircuit
+ * subcircuits' inherited-parameter loss vs their trained test accuracy
+ * (paper: R = -0.716). The shape to reproduce: |R_repcap| is comparable
+ * to |R_supercircuit| although RepCap required no gradient computation.
+ */
+#include <cstdio>
+
+#include "baselines/supercircuit.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+#include "core/candidate_gen.hpp"
+#include "core/repcap.hpp"
+#include "qml/dataset.hpp"
+#include "device/device.hpp"
+#include "qml/synthetic.hpp"
+#include "qml/trainer.hpp"
+
+namespace {
+
+using namespace elv;
+
+double
+trained_accuracy(const circ::Circuit &circuit, const qml::Benchmark &bench,
+                 std::uint64_t seed)
+{
+    double best = 0.0;
+    for (std::uint64_t restart = 0; restart < 2; ++restart) {
+        qml::TrainConfig tc;
+        tc.epochs = 30;
+        tc.seed = seed + restart;
+        const auto trained =
+            qml::train_circuit(circuit, bench.train, tc);
+        best = std::max(
+            best,
+            qml::evaluate(circuit, trained.params, bench.test).accuracy);
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace elv;
+
+    // Candidates span a range of sizes/embedding richness so trained
+    // accuracy spreads out (the paper's scatter spans ~0.4-0.8 too).
+    qml::Benchmark bench = qml::make_benchmark("fmnist-2", 3, 0.3);
+    {
+        elv::Rng shuffle_rng(1);
+        qml::shuffle_dataset(bench.train, shuffle_rng);
+        bench.train = qml::take(bench.train, 130);
+    }
+    const dev::Device device = dev::make_device("ibmq_jakarta");
+    const int circuits = 16;
+
+    // Panel 1: RepCap (no training) vs trained accuracy.
+    std::vector<double> repcaps, rc_accs;
+    {
+        elv::Rng rng(12);
+        core::CandidateConfig config;
+        config.num_qubits = bench.spec.qubits;
+        config.num_meas = 1;
+        config.num_features = bench.spec.dim;
+        for (int n = 0; n < circuits; ++n) {
+            config.num_params = 6 + 2 * n;
+            config.num_embeds = std::min(bench.spec.dim, 4 + n);
+            const circ::Circuit c =
+                core::generate_candidate(device, config, rng);
+            core::RepCapOptions options;
+            options.samples_per_class = 10;
+            options.param_inits = 10;
+            elv::Rng rc_rng(100 + static_cast<std::uint64_t>(n));
+            repcaps.push_back(core::representational_capacity(
+                                  c, bench.train, rc_rng, options)
+                                  .repcap);
+            rc_accs.push_back(trained_accuracy(c, bench, 200 + 10 * n));
+        }
+    }
+
+    // Panel 2: trained-SuperCircuit predicted loss vs trained accuracy.
+    std::vector<double> super_losses, sc_accs;
+    {
+        const base::SuperCircuit super(bench.spec.qubits, 4,
+                                       bench.spec.dim, 1);
+        qml::TrainConfig tc;
+        tc.epochs = 25;
+        tc.seed = 5;
+        const auto trained = base::train_supercircuit(
+            super, bench.train, bench.spec.params, tc);
+
+        elv::Rng rng(13);
+        for (int n = 0; n < circuits; ++n) {
+            const auto config = super.random_config(6 + 2 * n, rng);
+            std::vector<int> slot_map;
+            const circ::Circuit c = super.instantiate(config, slot_map);
+            const auto inherited =
+                super.inherited_params(config, trained.shared_params);
+            super_losses.push_back(
+                qml::evaluate(c, inherited, bench.train).loss);
+            sc_accs.push_back(trained_accuracy(c, bench, 400 + 10 * n));
+        }
+    }
+
+    Table table("Fig. 6b - predicting circuit performance on FMNIST-2");
+    table.set_header({"predictor", "needs training?", "Pearson R",
+                      "paper R"});
+    table.add_row({"RepCap vs trained accuracy", "no",
+                   Table::fmt(pearson_r(repcaps, rc_accs), 3), "0.708"});
+    table.add_row({"SuperCircuit loss vs trained accuracy", "yes",
+                   Table::fmt(pearson_r(super_losses, sc_accs), 3),
+                   "-0.716"});
+    table.print();
+    std::printf("\nShape check: RepCap's |R| is comparable to the trained "
+                "SuperCircuit's |R|\n(positive for RepCap, negative for "
+                "loss), with zero gradient computation\n(Insight 4).\n");
+    return 0;
+}

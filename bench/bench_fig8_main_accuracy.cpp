@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 8: main accuracy comparison of the five methods across the 9
+ * QML benchmarks, on noisy simulators of the Table 3 devices (8a) and
+ * on the "real hardware" device set (8b; simulated here, see DESIGN.md
+ * substitutions).
+ *
+ * Each bar of the figure is one (benchmark, device) cell; as in the
+ * paper, every cell runs Random, Human-designed, QuantumSupernet,
+ * QuantumNAS and Elivagar with the same parameter budget and the shared
+ * Sec. 7.3 training methodology. Shape to reproduce: Elivagar is
+ * competitive with or better than QuantumNAS on nearly every cell and
+ * clearly ahead of Random / Human-designed / QuantumSupernet; the paper
+ * reports +5.3% over QuantumNAS and +22.6% over Human-designed on
+ * average.
+ */
+#include <cstdio>
+
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+int
+main()
+{
+    using namespace elv;
+    using namespace elv::bench;
+
+    struct Cell
+    {
+        const char *benchmark;
+        const char *device;
+    };
+    // One device per bar, following the Fig. 8a device/benchmark lanes.
+    const Cell fig8a[] = {
+        {"fmnist-4", "rigetti_aspen_m3"}, {"mnist-2", "oqc_lucy"},
+        {"moons", "ibm_lagos"},           {"vowel-2", "ibm_lagos"},
+        {"mnist-4", "ibm_perth"},         {"bank", "ibm_nairobi"},
+        {"vowel-4", "ibm_nairobi"},       {"fmnist-2", "ibmq_jakarta"},
+        {"mnist-10", "ibm_guadalupe"},
+    };
+    // Fig. 8b lanes (hardware devices; simulated substitutes).
+    const Cell fig8b[] = {
+        {"fmnist-2", "rigetti_aspen_m3"}, {"vowel-2", "oqc_lucy"},
+        {"mnist-2", "ibmq_jakarta"},      {"fmnist-4", "ibmq_jakarta"},
+        {"vowel-4", "ibm_osaka"},         {"mnist-10", "ibm_kyoto"},
+    };
+
+    RunOptions options;
+    options.max_train_samples = 120;
+    options.epochs = 25;
+    options.candidates = 24;
+
+    auto run_panel = [&options](const char *title, const Cell *cells,
+                                std::size_t count) {
+        Table table(title);
+        table.set_header({"benchmark", "device", "Random", "Human",
+                          "Supernet", "QNAS", "Elivagar"});
+
+        std::vector<double> elv_acc, qnas_acc, human_acc;
+        for (std::size_t i = 0; i < count; ++i) {
+            const qml::Benchmark bench =
+                load_benchmark(cells[i].benchmark, options);
+            const dev::Device device =
+                dev::make_device(cells[i].device);
+
+            const MethodRun random = run_random(bench, device, options);
+            const MethodRun human = run_human(bench, device, options);
+            const MethodRun supernet =
+                run_supernet(bench, device, options);
+            const MethodRun qnas =
+                run_quantumnas(bench, device, options);
+            const MethodRun elivagar =
+                run_elivagar(bench, device, options);
+
+            elv_acc.push_back(elivagar.noisy_accuracy);
+            qnas_acc.push_back(qnas.noisy_accuracy);
+            human_acc.push_back(human.noisy_accuracy);
+            table.add_row({cells[i].benchmark, cells[i].device,
+                           Table::pct(random.noisy_accuracy),
+                           Table::pct(human.noisy_accuracy),
+                           Table::pct(supernet.noisy_accuracy),
+                           Table::pct(qnas.noisy_accuracy),
+                           Table::pct(elivagar.noisy_accuracy)});
+            std::fprintf(stderr, "  [fig8] %s / %s done\n",
+                         cells[i].benchmark, cells[i].device);
+        }
+        table.print();
+        std::printf("mean Elivagar - QuantumNAS: %+.1f%% (paper: +5.3%% "
+                    "avg over both panels)\n",
+                    100.0 * (mean(elv_acc) - mean(qnas_acc)));
+        std::printf("mean Elivagar - Human:      %+.1f%% (paper: +22.6%%)"
+                    "\n\n",
+                    100.0 * (mean(elv_acc) - mean(human_acc)));
+    };
+
+    run_panel("Fig. 8a - accuracy on noisy simulators (percent)", fig8a,
+              sizeof(fig8a) / sizeof(fig8a[0]));
+    run_panel("Fig. 8b - accuracy on (simulated) hardware devices "
+              "(percent)",
+              fig8b, sizeof(fig8b) / sizeof(fig8b[0]));
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Supporting microbenchmarks (google-benchmark) for the paper's Sec. 5
+ * efficiency claim: Clifford circuits are efficiently simulable. The
+ * stabilizer tableau scales polynomially with qubit count while the
+ * dense state-vector and density-matrix backends scale exponentially —
+ * which is what makes Clifford-replica CNR cheap even for circuits far
+ * beyond dense simulation.
+ */
+#include <benchmark/benchmark.h>
+
+#include "circuit/circuit.hpp"
+#include "circuit/clifford_replica.hpp"
+#include "common/rng.hpp"
+#include "core/candidate_gen.hpp"
+#include "core/cnr.hpp"
+#include "device/device.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/statevector.hpp"
+#include "stabilizer/tableau.hpp"
+
+namespace {
+
+using namespace elv;
+
+/** Layered Clifford circuit: H + CX brickwork + S, depth ~3 * layers. */
+circ::Circuit
+clifford_brickwork(int qubits, int layers)
+{
+    circ::Circuit c(qubits);
+    for (int l = 0; l < layers; ++l) {
+        for (int q = 0; q < qubits; ++q)
+            c.add_gate(circ::GateKind::H, {q});
+        for (int q = l % 2; q + 1 < qubits; q += 2)
+            c.add_gate(circ::GateKind::CX, {q, q + 1});
+        for (int q = 0; q < qubits; ++q)
+            c.add_gate(circ::GateKind::S, {q});
+    }
+    std::vector<int> meas;
+    for (int q = 0; q < std::min(qubits, 10); ++q)
+        meas.push_back(q);
+    c.set_measured(meas);
+    return c;
+}
+
+void
+BM_StateVectorClifford(benchmark::State &state)
+{
+    const int qubits = static_cast<int>(state.range(0));
+    const circ::Circuit c = clifford_brickwork(qubits, 4);
+    sim::StateVector psi(qubits);
+    for (auto _ : state) {
+        psi.run(c);
+        benchmark::DoNotOptimize(psi.amps().data());
+    }
+    state.SetLabel(std::to_string(qubits) + " qubits (dense 2^n)");
+}
+
+void
+BM_DensityMatrixClifford(benchmark::State &state)
+{
+    const int qubits = static_cast<int>(state.range(0));
+    const circ::Circuit c = clifford_brickwork(qubits, 4);
+    sim::DensityMatrix rho(qubits);
+    for (auto _ : state) {
+        rho.run(c);
+        benchmark::DoNotOptimize(rho.trace());
+    }
+    state.SetLabel(std::to_string(qubits) + " qubits (dense 4^n)");
+}
+
+void
+BM_StabilizerClifford(benchmark::State &state)
+{
+    const int qubits = static_cast<int>(state.range(0));
+    const circ::Circuit c = clifford_brickwork(qubits, 4);
+    Rng rng(5);
+    for (auto _ : state) {
+        const std::size_t outcome = stab::run_shot(c, rng);
+        benchmark::DoNotOptimize(outcome);
+    }
+    state.SetLabel(std::to_string(qubits) +
+                   " qubits (tableau, poly n)");
+}
+
+void
+BM_CnrDensityBackend(benchmark::State &state)
+{
+    const dev::Device device = dev::make_device("ibm_guadalupe");
+    Rng rng(7);
+    core::CandidateConfig config;
+    config.num_qubits = static_cast<int>(state.range(0));
+    config.num_params = 16;
+    config.num_embeds = 4;
+    config.num_meas = 2;
+    config.num_features = 4;
+    const circ::Circuit c = core::generate_candidate(device, config, rng);
+    core::CnrOptions options;
+    options.num_replicas = 4;
+    for (auto _ : state) {
+        const auto result =
+            core::clifford_noise_resilience(c, device, rng, options);
+        benchmark::DoNotOptimize(result.cnr);
+    }
+}
+
+void
+BM_CnrStabilizerBackend(benchmark::State &state)
+{
+    const dev::Device device = dev::make_device("ibm_guadalupe");
+    Rng rng(7);
+    core::CandidateConfig config;
+    config.num_qubits = static_cast<int>(state.range(0));
+    config.num_params = 16;
+    config.num_embeds = 4;
+    config.num_meas = 2;
+    config.num_features = 4;
+    const circ::Circuit c = core::generate_candidate(device, config, rng);
+    core::CnrOptions options;
+    options.num_replicas = 4;
+    options.backend = core::CnrBackend::Stabilizer;
+    options.shots = 512;
+    for (auto _ : state) {
+        const auto result =
+            core::clifford_noise_resilience(c, device, rng, options);
+        benchmark::DoNotOptimize(result.cnr);
+    }
+}
+
+void
+BM_AdjointVsParameterShiftGap(benchmark::State &state)
+{
+    // The Table 4 'Q'-regime cost driver: executions per gradient.
+    const int params = static_cast<int>(state.range(0));
+    state.counters["param_shift_execs"] =
+        static_cast<double>(1 + 2 * params);
+    state.counters["adjoint_execs"] = 1.0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(params);
+}
+
+} // namespace
+
+BENCHMARK(BM_StateVectorClifford)->DenseRange(4, 16, 4)->Arg(18);
+BENCHMARK(BM_DensityMatrixClifford)->DenseRange(4, 8, 2)->Arg(9);
+BENCHMARK(BM_StabilizerClifford)->RangeMultiplier(2)->Range(4, 64);
+BENCHMARK(BM_CnrDensityBackend)->DenseRange(3, 7, 2);
+BENCHMARK(BM_CnrStabilizerBackend)->DenseRange(3, 7, 2);
+BENCHMARK(BM_AdjointVsParameterShiftGap)->Arg(16)->Arg(40)->Arg(72);
+
+BENCHMARK_MAIN();

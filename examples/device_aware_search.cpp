@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Device-aware vs device-unaware circuit generation (the Table 5
+ * story): generate matched pairs of circuits with the same gate budget,
+ * run the Elivagar circuit as-is, SABRE-route the device-unaware one,
+ * and compare 2-qubit gate counts after compilation and fidelity on
+ * three devices.
+ */
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "compiler/compile.hpp"
+#include "core/candidate_gen.hpp"
+#include "noise/noise_model.hpp"
+
+int
+main()
+{
+    using namespace elv;
+
+    Table table("Device-aware (Elivagar) vs device-unaware (SABRE-routed) "
+                "circuits");
+    table.set_header({"device", "policy", "2q before", "2q after",
+                      "fidelity"});
+
+    for (const char *name : {"oqc_lucy", "ibm_guadalupe", "ibmq_kolkata"}) {
+        const dev::Device device = dev::make_device(name);
+        const noise::NoisyDensitySimulator noisy(device);
+        elv::Rng rng(11);
+
+        core::CandidateConfig config;
+        config.num_qubits = 5;
+        config.num_params = 16;
+        config.num_embeds = 4;
+        config.num_meas = 2;
+        config.num_features = 4;
+
+        const int pairs = 6;
+        double aware_fid = 0.0, unaware_fid = 0.0;
+        int aware_2q = 0, unaware_2q_before = 0, unaware_2q_after = 0;
+
+        for (int p = 0; p < pairs; ++p) {
+            const circ::Circuit aware =
+                core::generate_candidate(device, config, rng);
+            const circ::Circuit unaware =
+                core::generate_device_unaware(config, rng);
+
+            const auto routed =
+                comp::compile_for_device(unaware, device, 3, rng);
+
+            std::vector<double> params(
+                static_cast<std::size_t>(aware.num_params()));
+            for (auto &v : params)
+                v = rng.uniform(-M_PI, M_PI);
+            std::vector<double> x(4);
+            for (auto &v : x)
+                v = rng.uniform(-M_PI / 2, M_PI / 2);
+
+            aware_fid += noisy.fidelity(aware, params, x) / pairs;
+            unaware_fid +=
+                noisy.fidelity(routed.circuit, params, x) / pairs;
+            aware_2q += aware.count_2q();
+            unaware_2q_before += unaware.count_2q();
+            unaware_2q_after += routed.stats.gates_2q;
+        }
+
+        table.add_row({name, "SABRE",
+                       Table::fmt(unaware_2q_before / double(pairs), 1),
+                       Table::fmt(unaware_2q_after / double(pairs), 1),
+                       Table::fmt(unaware_fid, 3)});
+        table.add_row({name, "Elivagar",
+                       Table::fmt(aware_2q / double(pairs), 1),
+                       Table::fmt(aware_2q / double(pairs), 1),
+                       Table::fmt(aware_fid, 3)});
+    }
+    table.print();
+    std::printf("\nElivagar circuits need no routing, so their 2-qubit "
+                "gate count is unchanged\nby compilation and their "
+                "fidelity is higher (paper Sec. 9.1).\n");
+    return 0;
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Command-line front end for the library: run an Elivagar search for any
+ * catalog benchmark on any catalog device, train the winner, report
+ * noiseless/noisy accuracy, and optionally dump the circuit (native text
+ * or bound OpenQASM).
+ *
+ * Usage:
+ *   elivagar_cli [--benchmark NAME] [--device NAME] [--candidates N]
+ *                [--epochs N] [--seed N] [--scale F]
+ *                [--emit text|qasm] [--list]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "circuit/serialize.hpp"
+#include "common/logging.hpp"
+#include "core/search.hpp"
+#include "device/device.hpp"
+#include "noise/noise_model.hpp"
+#include "qml/synthetic.hpp"
+#include "qml/trainer.hpp"
+
+namespace {
+
+struct CliOptions
+{
+    std::string benchmark = "moons";
+    std::string device = "ibm_lagos";
+    int candidates = 32;
+    int epochs = 40;
+    std::uint64_t seed = 7;
+    double scale = 0.3;
+    std::string emit; // "", "text" or "qasm"
+};
+
+void
+print_usage()
+{
+    std::printf(
+        "usage: elivagar_cli [options]\n"
+        "  --benchmark NAME   Table 2 benchmark (default moons)\n"
+        "  --device NAME      Table 3 device (default ibm_lagos)\n"
+        "  --candidates N     search pool size (default 32)\n"
+        "  --epochs N         training epochs (default 40)\n"
+        "  --seed N           search/data seed (default 7)\n"
+        "  --scale F          dataset scale in (0,1] (default 0.3)\n"
+        "  --emit text|qasm   print the selected circuit\n"
+        "  --list             list benchmarks and devices, then exit\n");
+}
+
+bool
+parse(int argc, char **argv, CliOptions &options)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                elv::fatal("missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--benchmark")
+            options.benchmark = value();
+        else if (arg == "--device")
+            options.device = value();
+        else if (arg == "--candidates")
+            options.candidates = std::atoi(value());
+        else if (arg == "--epochs")
+            options.epochs = std::atoi(value());
+        else if (arg == "--seed")
+            options.seed = static_cast<std::uint64_t>(
+                std::strtoull(value(), nullptr, 10));
+        else if (arg == "--scale")
+            options.scale = std::atof(value());
+        else if (arg == "--emit")
+            options.emit = value();
+        else if (arg == "--list") {
+            std::printf("benchmarks:");
+            for (const auto &spec : elv::qml::benchmark_table())
+                std::printf(" %s", spec.name.c_str());
+            std::printf("\ndevices:");
+            for (const auto &name : elv::dev::device_catalog())
+                std::printf(" %s", name.c_str());
+            std::printf("\n");
+            return false;
+        } else if (arg == "--help" || arg == "-h") {
+            print_usage();
+            return false;
+        } else {
+            elv::fatal("unknown option: " + arg);
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace elv;
+
+    CliOptions options;
+    try {
+        if (!parse(argc, argv, options))
+            return 0;
+
+        const qml::Benchmark bench = qml::make_benchmark(
+            options.benchmark, options.seed, options.scale);
+        const dev::Device device = dev::make_device(options.device);
+        std::printf("benchmark %s (%zu train / %zu test), device %s\n",
+                    bench.spec.name.c_str(), bench.train.size(),
+                    bench.test.size(), device.name.c_str());
+
+        core::ElivagarConfig config;
+        config.num_candidates = options.candidates;
+        config.candidate.num_qubits = bench.spec.qubits;
+        config.candidate.num_params = bench.spec.params;
+        config.candidate.num_embeds = std::min(
+            bench.spec.params,
+            std::max(bench.spec.dim, bench.spec.params / 4));
+        config.candidate.num_meas = bench.spec.meas;
+        config.candidate.num_features = bench.spec.dim;
+        config.seed = options.seed;
+
+        const auto found =
+            core::elivagar_search(device, bench.train, config);
+        std::printf("search: %d survivors of %d candidates, score "
+                    "%.3f, %llu executions\n",
+                    found.survivors, options.candidates,
+                    found.best_score,
+                    static_cast<unsigned long long>(
+                        found.total_executions()));
+
+        qml::TrainConfig tc;
+        tc.epochs = options.epochs;
+        tc.seed = options.seed + 1;
+        const auto trained =
+            qml::train_circuit(found.best_circuit, bench.train, tc);
+
+        const auto ideal =
+            qml::evaluate(found.best_circuit, trained.params, bench.test);
+        const noise::NoisyDensitySimulator noisy(device);
+        const auto hw = qml::evaluate(
+            found.best_circuit, trained.params, bench.test,
+            [&noisy](const circ::Circuit &c,
+                     const std::vector<double> &p,
+                     const std::vector<double> &x) {
+                return noisy.run_distribution(c, p, x);
+            });
+        std::printf("accuracy: %.1f%% noiseless / %.1f%% noisy\n",
+                    100 * ideal.accuracy, 100 * hw.accuracy);
+
+        if (options.emit == "text") {
+            std::printf("%s", circ::to_text(found.best_circuit).c_str());
+        } else if (options.emit == "qasm") {
+            std::vector<double> zeros(
+                static_cast<std::size_t>(std::max(
+                    1, found.best_circuit.num_data_features())),
+                0.0);
+            std::printf("%s", circ::to_qasm(found.best_circuit,
+                                            trained.params, zeros)
+                                  .c_str());
+        } else if (!options.emit.empty()) {
+            elv::fatal("--emit expects 'text' or 'qasm'");
+        }
+        return 0;
+    } catch (const UsageError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        print_usage();
+        return 1;
+    }
+}

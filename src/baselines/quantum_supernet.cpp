@@ -1,0 +1,52 @@
+#include "baselines/quantum_supernet.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+#include "qml/classifier.hpp"
+
+namespace elv::base {
+
+SupernetResult
+supernet_search(const SuperCircuit &super,
+                const std::vector<double> &shared_params,
+                const qml::Dataset &valid, const SupernetConfig &config)
+{
+    ELV_REQUIRE(config.num_samples >= 1, "need at least one sample");
+    valid.check();
+    elv::Rng rng(config.seed ^ 0x5375704eULL);
+
+    qml::Dataset subset = valid;
+    {
+        elv::Rng sub_rng(config.seed ^ 0x1234ULL);
+        shuffle_dataset(subset, sub_rng);
+        subset = qml::take(subset, static_cast<std::size_t>(
+                                       config.valid_samples));
+    }
+
+    SupernetResult result;
+    result.best_loss = std::numeric_limits<double>::infinity();
+
+    for (int n = 0; n < config.num_samples; ++n) {
+        const SuperConfig candidate =
+            super.random_config(config.target_params, rng);
+        std::vector<int> slot_map;
+        const circ::Circuit circuit =
+            super.instantiate(candidate, slot_map);
+        const auto params =
+            super.inherited_params(candidate, shared_params);
+
+        const auto eval = qml::evaluate(circuit, params, subset);
+        result.search_executions += subset.size();
+
+        if (eval.loss < result.best_loss) {
+            result.best_loss = eval.loss;
+            result.best_config = candidate;
+            result.best_logical = circuit;
+            result.inherited_params = params;
+        }
+    }
+    return result;
+}
+
+} // namespace elv::base

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * QuantumSupernet baseline (Du et al., npj QI 2022) as characterized in
+ * the paper: a trained SuperCircuit (with the deep CRY-entangler
+ * embedding noted in Sec. 9.2) searched by plain random sampling —
+ * candidate configurations are scored by their inherited-parameter
+ * SuperCircuit loss on a validation set, and the lowest-loss
+ * configuration wins.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/supercircuit.hpp"
+#include "device/device.hpp"
+#include "qml/dataset.hpp"
+
+namespace elv::base {
+
+/** Random-search settings. */
+struct SupernetConfig
+{
+    /** Candidate configurations sampled. */
+    int num_samples = 32;
+    /** Parameter budget per candidate. */
+    int target_params = 20;
+    /** Validation samples per candidate evaluation. */
+    int valid_samples = 24;
+    std::uint64_t seed = 0;
+};
+
+/** Random-search output. */
+struct SupernetResult
+{
+    /** Best logical circuit (needs routing before noisy execution). */
+    circ::Circuit best_logical;
+    SuperConfig best_config;
+    std::vector<double> inherited_params;
+    double best_loss = 0.0;
+    /** Executions spent scoring candidates. */
+    std::uint64_t search_executions = 0;
+};
+
+/** Run the random search against a trained SuperCircuit. */
+SupernetResult supernet_search(const SuperCircuit &super,
+                               const std::vector<double> &shared_params,
+                               const qml::Dataset &valid,
+                               const SupernetConfig &config);
+
+} // namespace elv::base

@@ -1,0 +1,31 @@
+#include "baselines/simple.hpp"
+
+namespace elv::base {
+
+std::vector<circ::Circuit>
+random_baseline(const BaselineShape &shape, int count, elv::Rng &rng)
+{
+    std::vector<circ::Circuit> circuits;
+    circuits.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        circuits.push_back(circ::build_random_rxyz_cz(
+            shape.num_qubits, shape.num_features, shape.num_params,
+            shape.num_meas, rng));
+    return circuits;
+}
+
+std::vector<circ::Circuit>
+human_baseline(const BaselineShape &shape)
+{
+    using circ::EmbeddingScheme;
+    std::vector<circ::Circuit> circuits;
+    for (EmbeddingScheme scheme :
+         {EmbeddingScheme::Angle, EmbeddingScheme::IQP,
+          EmbeddingScheme::Amplitude})
+        circuits.push_back(circ::build_human_designed(
+            shape.num_qubits, shape.num_features, shape.num_params,
+            shape.num_meas, scheme));
+    return circuits;
+}
+
+} // namespace elv::base

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The two non-search baselines of Sec. 7.4: Random (average of random
+ * RXYZ + CZ circuits) and Human-designed (angle / IQP / amplitude
+ * embeddings in front of BasicEntanglerLayers, averaged).
+ */
+#pragma once
+
+#include <vector>
+
+#include "circuit/builders.hpp"
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace elv::base {
+
+/** Shape parameters shared by the simple baselines. */
+struct BaselineShape
+{
+    int num_qubits = 4;
+    int num_features = 4;
+    int num_params = 20;
+    int num_meas = 1;
+};
+
+/** `count` random RXYZ + CZ circuits (the Random baseline). */
+std::vector<circ::Circuit> random_baseline(const BaselineShape &shape,
+                                           int count, elv::Rng &rng);
+
+/**
+ * The three human-designed circuits (angle, IQP, amplitude embedding;
+ * the paper reports their average performance).
+ */
+std::vector<circ::Circuit> human_baseline(const BaselineShape &shape);
+
+} // namespace elv::base

@@ -1,0 +1,116 @@
+#include "circuit/builders.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace elv::circ {
+
+void
+append_angle_embedding(Circuit &c, int num_features)
+{
+    const int n = c.num_qubits();
+    for (int f = 0; f < num_features; ++f)
+        c.add_embedding(GateKind::RX, {f % n}, f);
+}
+
+void
+append_iqp_embedding(Circuit &c, int num_features)
+{
+    const int n = c.num_qubits();
+    int f = 0;
+    while (f < num_features) {
+        const int layer = std::min(n, num_features - f);
+        for (int q = 0; q < layer; ++q)
+            c.add_gate(GateKind::H, {q});
+        for (int q = 0; q < layer; ++q)
+            c.add_embedding(GateKind::RZ, {q}, f + q);
+        // Pairwise interactions RZZ(x_i * x_j) = CX . RZ . CX.
+        for (int q = 0; q + 1 < layer; ++q) {
+            c.add_gate(GateKind::CX, {q, q + 1});
+            c.add_embedding(GateKind::RZ, {q + 1}, f + q, f + q + 1);
+            c.add_gate(GateKind::CX, {q, q + 1});
+        }
+        f += layer;
+    }
+}
+
+void
+append_basic_entangler_layers(Circuit &c, int num_layers)
+{
+    const int n = c.num_qubits();
+    for (int layer = 0; layer < num_layers; ++layer) {
+        for (int q = 0; q < n; ++q)
+            c.add_variational(GateKind::RX, {q});
+        if (n >= 2) {
+            for (int q = 0; q < n; ++q)
+                c.add_gate(GateKind::CX, {q, (q + 1) % n});
+        }
+    }
+}
+
+Circuit
+build_human_designed(int num_qubits, int num_features, int num_params,
+                     int num_meas, EmbeddingScheme scheme)
+{
+    ELV_REQUIRE(num_meas <= num_qubits, "more measurements than qubits");
+    Circuit c(num_qubits);
+    switch (scheme) {
+      case EmbeddingScheme::Angle:
+        append_angle_embedding(c, num_features);
+        break;
+      case EmbeddingScheme::IQP:
+        append_iqp_embedding(c, num_features);
+        break;
+      case EmbeddingScheme::Amplitude:
+        c.add_amplitude_embedding();
+        break;
+    }
+    const int layers =
+        std::max(1, (num_params + num_qubits - 1) / num_qubits);
+    append_basic_entangler_layers(c, layers);
+    std::vector<int> meas(static_cast<std::size_t>(num_meas));
+    for (int i = 0; i < num_meas; ++i)
+        meas[static_cast<std::size_t>(i)] = i;
+    c.set_measured(std::move(meas));
+    return c;
+}
+
+Circuit
+build_random_rxyz_cz(int num_qubits, int num_features, int num_params,
+                     int num_meas, elv::Rng &rng)
+{
+    ELV_REQUIRE(num_meas <= num_qubits, "more measurements than qubits");
+    Circuit c(num_qubits);
+    append_angle_embedding(c, num_features);
+
+    const GateKind rotations[3] = {GateKind::RX, GateKind::RY, GateKind::RZ};
+    int placed = 0;
+    while (placed < num_params) {
+        // Roughly one CZ for every two rotations, matching the RXYZ + CZ
+        // block structure from the QuantumNAS gate-set study.
+        if (num_qubits >= 2 && rng.uniform() < 0.33) {
+            const int a = static_cast<int>(
+                rng.uniform_index(static_cast<std::size_t>(num_qubits)));
+            int b = static_cast<int>(rng.uniform_index(
+                static_cast<std::size_t>(num_qubits - 1)));
+            if (b >= a)
+                ++b;
+            c.add_gate(GateKind::CZ, {a, b});
+        } else {
+            const GateKind kind = rotations[rng.uniform_index(3)];
+            const int q = static_cast<int>(
+                rng.uniform_index(static_cast<std::size_t>(num_qubits)));
+            c.add_variational(kind, {q});
+            ++placed;
+        }
+    }
+
+    std::vector<int> meas(static_cast<std::size_t>(num_meas));
+    for (int i = 0; i < num_meas; ++i)
+        meas[static_cast<std::size_t>(i)] = i;
+    c.set_measured(std::move(meas));
+    return c;
+}
+
+} // namespace elv::circ

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Builders for the standard circuit templates used by the paper's
+ * baselines: angle / IQP / amplitude data embeddings, the Pennylane-style
+ * BasicEntanglerLayers variational template, and random RXYZ+CZ circuits
+ * (the QuantumNAS gate set).
+ */
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace elv::circ {
+
+/**
+ * Append an angle embedding: one RX per qubit encoding one input feature.
+ * When `num_features` exceeds the qubit count, additional layers re-upload
+ * the remaining features (data re-uploading).
+ */
+void append_angle_embedding(Circuit &c, int num_features);
+
+/**
+ * Append an IQP-style embedding: H on every qubit, RZ(x_i) per qubit,
+ * then RZ(x_i * x_j) on neighbouring qubit pairs conjugated by CX.
+ * Extra features beyond the qubit count are re-uploaded in later layers.
+ */
+void append_iqp_embedding(Circuit &c, int num_features);
+
+/**
+ * Append `num_layers` BasicEntanglerLayers blocks: a trainable RX per
+ * qubit followed by a ring of CX gates.
+ */
+void append_basic_entangler_layers(Circuit &c, int num_layers);
+
+/** Embedding scheme choices for the human-designed baseline. */
+enum class EmbeddingScheme { Angle, IQP, Amplitude };
+
+/**
+ * Build a full human-designed baseline circuit: the chosen data embedding
+ * followed by enough BasicEntanglerLayers to reach `num_params` trainable
+ * parameters, measuring `num_meas` qubits.
+ */
+Circuit build_human_designed(int num_qubits, int num_features,
+                             int num_params, int num_meas,
+                             EmbeddingScheme scheme);
+
+/**
+ * Build a random circuit from the RXYZ + CZ gate set (the best-performing
+ * QuantumNAS gate set): random trainable rotations and CZ gates on random
+ * qubit pairs of a fully-connected logical register, with an angle
+ * embedding in front. `num_params` counts trainable rotation parameters.
+ */
+Circuit build_random_rxyz_cz(int num_qubits, int num_features,
+                             int num_params, int num_meas, elv::Rng &rng);
+
+} // namespace elv::circ

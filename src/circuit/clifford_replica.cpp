@@ -1,0 +1,167 @@
+#include "circuit/clifford_replica.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace elv::circ {
+
+namespace {
+
+/** Reduce an angle to the index k of the nearest multiple of pi/2. */
+int
+nearest_quarter_turn(double angle)
+{
+    const double turns = angle / (M_PI / 2.0);
+    int k = static_cast<int>(std::llround(turns)) % 4;
+    if (k < 0)
+        k += 4;
+    return k;
+}
+
+/** Append RZ(k * pi/2) as Clifford gates. */
+void
+append_clifford_rz(Circuit &out, int q, int k)
+{
+    switch (k & 3) {
+      case 0: break;
+      case 1: out.add_gate(GateKind::S, {q}); break;
+      case 2: out.add_gate(GateKind::Z, {q}); break;
+      case 3: out.add_gate(GateKind::Sdg, {q}); break;
+    }
+}
+
+/** Append RX(k * pi/2) = H RZ(k * pi/2) H. */
+void
+append_clifford_rx(Circuit &out, int q, int k)
+{
+    if ((k & 3) == 0)
+        return;
+    out.add_gate(GateKind::H, {q});
+    append_clifford_rz(out, q, k);
+    out.add_gate(GateKind::H, {q});
+}
+
+/** Append RY(k * pi/2) = Sdg, RX(k * pi/2), S in circuit order. */
+void
+append_clifford_ry(Circuit &out, int q, int k)
+{
+    if ((k & 3) == 0)
+        return;
+    out.add_gate(GateKind::Sdg, {q});
+    append_clifford_rx(out, q, k);
+    out.add_gate(GateKind::S, {q});
+}
+
+/** Append CRY(k * pi) — identity (k even) or Sdg(c) CY(c, t) (k odd). */
+void
+append_clifford_cry_pi(Circuit &out, int c, int t, bool apply)
+{
+    if (!apply)
+        return;
+    // CRY(pi) = diag-control of (-i Y) = Sdg on the control times CY;
+    // CY(c, t) = Sdg(t) CX(c, t) S(t).
+    out.add_gate(GateKind::Sdg, {c});
+    out.add_gate(GateKind::Sdg, {t});
+    out.add_gate(GateKind::CX, {c, t});
+    out.add_gate(GateKind::S, {t});
+}
+
+} // namespace
+
+double
+snap_to_clifford_angle(double angle)
+{
+    return nearest_quarter_turn(angle) * (M_PI / 2.0);
+}
+
+bool
+is_clifford_circuit(const Circuit &circuit)
+{
+    for (const Op &op : circuit.ops())
+        if (!gate_is_clifford(op.kind))
+            return false;
+    return true;
+}
+
+Circuit
+make_clifford_replica(const Circuit &circuit, elv::Rng &rng,
+                      ReplicaMode mode, const std::vector<double> &params,
+                      const std::vector<double> &x)
+{
+    ELV_REQUIRE(!circuit.has_amplitude_embedding(),
+                "amplitude embeddings have no Clifford replica");
+
+    Circuit out(circuit.num_qubits());
+    for (const Op &op : circuit.ops()) {
+        if (op.role == ParamRole::None) {
+            out.add_gate(op.kind, op.num_qubits() == 2
+                                      ? std::vector<int>{op.qubits[0],
+                                                         op.qubits[1]}
+                                      : std::vector<int>{op.qubits[0]});
+            continue;
+        }
+
+        // Resolve the snapped quarter-turn indices for this gate.
+        std::array<double, 3> bound = {0.0, 0.0, 0.0};
+        if (mode == ReplicaMode::Nearest)
+            bound = op_angles(op, params, x);
+        auto quarter = [&](int slot) {
+            if (mode == ReplicaMode::Random)
+                return static_cast<int>(rng.uniform_index(4));
+            return nearest_quarter_turn(
+                bound[static_cast<std::size_t>(slot)]);
+        };
+
+        const int q = op.qubits[0];
+        switch (op.kind) {
+          case GateKind::RX:
+            append_clifford_rx(out, q, quarter(0));
+            break;
+          case GateKind::RY:
+            append_clifford_ry(out, q, quarter(0));
+            break;
+          case GateKind::RZ:
+            append_clifford_rz(out, q, quarter(0));
+            break;
+          case GateKind::U3: {
+            // U3(theta, phi, lambda) = RZ(phi) RY(theta) RZ(lambda):
+            // circuit order lambda, theta, phi.
+            append_clifford_rz(out, q, quarter(2));
+            append_clifford_ry(out, q, quarter(0));
+            append_clifford_rz(out, q, quarter(1));
+            break;
+          }
+          case GateKind::CRY: {
+            // Controlled rotations are Clifford only at multiples of pi.
+            bool apply;
+            if (mode == ReplicaMode::Random) {
+                apply = rng.bernoulli(0.5);
+            } else {
+                const int half =
+                    static_cast<int>(std::llround(bound[0] / M_PI));
+                apply = (half % 2) != 0;
+            }
+            append_clifford_cry_pi(out, op.qubits[0], op.qubits[1], apply);
+            break;
+          }
+          default:
+            ELV_REQUIRE(false, "unexpected parametric gate kind");
+        }
+    }
+    out.set_measured(circuit.measured());
+    return out;
+}
+
+std::vector<Circuit>
+make_clifford_replicas(const Circuit &circuit, int m, elv::Rng &rng)
+{
+    ELV_REQUIRE(m > 0, "need at least one replica");
+    std::vector<Circuit> replicas;
+    replicas.reserve(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i)
+        replicas.push_back(make_clifford_replica(circuit, rng));
+    return replicas;
+}
+
+} // namespace elv::circ

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Clifford replica construction (paper Sec. 5.1).
+ *
+ * A Clifford replica of a circuit replaces every parametric rotation with
+ * a random Clifford gate of the same axis: single-qubit rotation angles
+ * are snapped to random multiples of pi/2 and lowered to {H, S, Sdg, Z}
+ * sequences; controlled rotations are snapped to {0, pi}. Fixed gates and
+ * the measurement set are preserved, so replicas keep the original
+ * circuit's structure, qubit footprint and (approximately) its depth —
+ * which is why their fidelity predicts the fidelity of the original.
+ */
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace elv::circ {
+
+/** How replica angles are chosen. */
+enum class ReplicaMode {
+    /**
+     * Random multiples of pi/2 per parametric gate (the paper's choice:
+     * parameter values are unknown before training, and change during it).
+     */
+    Random,
+    /**
+     * Snap the circuit's *bound* angles to the nearest Clifford angle
+     * (the compilation-time strategy of prior work; provided for the
+     * ablation of replica construction strategies).
+     */
+    Nearest,
+};
+
+/**
+ * Build one Clifford replica. With ReplicaMode::Nearest, `params` and `x`
+ * supply the bound angles to snap; with ReplicaMode::Random they are
+ * ignored and may be empty.
+ */
+Circuit make_clifford_replica(const Circuit &circuit, elv::Rng &rng,
+                              ReplicaMode mode = ReplicaMode::Random,
+                              const std::vector<double> &params = {},
+                              const std::vector<double> &x = {});
+
+/** Build `m` independent random Clifford replicas. */
+std::vector<Circuit> make_clifford_replicas(const Circuit &circuit, int m,
+                                            elv::Rng &rng);
+
+/** Snap an angle to the nearest multiple of pi/2, returned in [0, 2pi). */
+double snap_to_clifford_angle(double angle);
+
+/**
+ * True iff the circuit consists purely of Clifford gates (no parametric
+ * rotations, no amplitude embedding), i.e. can run on the stabilizer
+ * simulator.
+ */
+bool is_clifford_circuit(const Circuit &circuit);
+
+} // namespace elv::circ

@@ -1,0 +1,98 @@
+#include "circuit/gate.hpp"
+
+#include "common/logging.hpp"
+
+namespace elv::circ {
+
+int
+gate_num_qubits(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::RX:
+      case GateKind::RY:
+      case GateKind::RZ:
+      case GateKind::U3:
+      case GateKind::H:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+        return 1;
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::SWAP:
+      case GateKind::CRY:
+        return 2;
+      case GateKind::AmpEmbed:
+        return 0;
+    }
+    ELV_REQUIRE(false, "unknown gate kind");
+    return 0;
+}
+
+int
+gate_num_params(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::RX:
+      case GateKind::RY:
+      case GateKind::RZ:
+      case GateKind::CRY:
+        return 1;
+      case GateKind::U3:
+        return 3;
+      default:
+        return 0;
+    }
+}
+
+bool
+gate_is_clifford(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::H:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::SWAP:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+gate_is_parametric(GateKind kind)
+{
+    return gate_num_params(kind) > 0;
+}
+
+std::string
+gate_name(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::RX: return "RX";
+      case GateKind::RY: return "RY";
+      case GateKind::RZ: return "RZ";
+      case GateKind::U3: return "U3";
+      case GateKind::H: return "H";
+      case GateKind::S: return "S";
+      case GateKind::Sdg: return "Sdg";
+      case GateKind::X: return "X";
+      case GateKind::Y: return "Y";
+      case GateKind::Z: return "Z";
+      case GateKind::CX: return "CX";
+      case GateKind::CZ: return "CZ";
+      case GateKind::SWAP: return "SWAP";
+      case GateKind::CRY: return "CRY";
+      case GateKind::AmpEmbed: return "AmpEmbed";
+    }
+    return "?";
+}
+
+} // namespace elv::circ

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Gate vocabulary and static gate metadata.
+ *
+ * The gate set follows the paper's setting: parametric rotations
+ * (RX/RY/RZ/U3) usable as variational or data-embedding gates, the
+ * Clifford fixed gates (H/S/Sdg/X/Y/Z/CX/CZ/SWAP) used for replicas and
+ * entanglement, and an amplitude-embedding pseudo-op for the
+ * human-designed baseline.
+ */
+#pragma once
+
+#include <string>
+
+namespace elv::circ {
+
+/** All gate kinds understood by the IR and the simulators. */
+enum class GateKind {
+    RX,       ///< 1-qubit X rotation, 1 parameter
+    RY,       ///< 1-qubit Y rotation, 1 parameter
+    RZ,       ///< 1-qubit Z rotation, 1 parameter
+    U3,       ///< general 1-qubit gate, 3 parameters (theta, phi, lambda)
+    H,        ///< Hadamard
+    S,        ///< phase gate sqrt(Z)
+    Sdg,      ///< inverse phase gate
+    X,        ///< Pauli X
+    Y,        ///< Pauli Y
+    Z,        ///< Pauli Z
+    CX,       ///< controlled-X
+    CZ,       ///< controlled-Z
+    SWAP,     ///< 2-qubit swap
+    CRY,      ///< controlled RY, 1 parameter (QuantumSupernet embedding)
+    AmpEmbed, ///< amplitude embedding of the input vector (all qubits)
+};
+
+/** Number of qubits the gate acts on (AmpEmbed reports 0 = "all"). */
+int gate_num_qubits(GateKind kind);
+
+/** Number of continuous parameters the gate takes. */
+int gate_num_params(GateKind kind);
+
+/** True for fixed gates that are members of the Clifford group. */
+bool gate_is_clifford(GateKind kind);
+
+/** True for parametric rotation gates (RX/RY/RZ/U3/CRY). */
+bool gate_is_parametric(GateKind kind);
+
+/** Printable mnemonic, e.g. "RX". */
+std::string gate_name(GateKind kind);
+
+} // namespace elv::circ

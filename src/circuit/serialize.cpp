@@ -1,0 +1,220 @@
+#include "circuit/serialize.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace elv::circ {
+
+namespace {
+
+/** QASM gate name for a kind (lower case per the spec). */
+std::string
+qasm_name(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::RX: return "rx";
+      case GateKind::RY: return "ry";
+      case GateKind::RZ: return "rz";
+      case GateKind::U3: return "u3";
+      case GateKind::H: return "h";
+      case GateKind::S: return "s";
+      case GateKind::Sdg: return "sdg";
+      case GateKind::X: return "x";
+      case GateKind::Y: return "y";
+      case GateKind::Z: return "z";
+      case GateKind::CX: return "cx";
+      case GateKind::CZ: return "cz";
+      case GateKind::SWAP: return "swap";
+      case GateKind::CRY: return "cry";
+      case GateKind::AmpEmbed: break;
+    }
+    ELV_REQUIRE(false, "gate not expressible in QASM");
+    return {};
+}
+
+} // namespace
+
+std::string
+to_qasm(const Circuit &circuit, const std::vector<double> &params,
+        const std::vector<double> &x)
+{
+    if (circuit.has_amplitude_embedding())
+        elv::fatal("amplitude embeddings cannot be exported to QASM");
+
+    std::ostringstream oss;
+    oss << "OPENQASM 2.0;\n";
+    oss << "include \"qelib1.inc\";\n";
+    oss << "qreg q[" << circuit.num_qubits() << "];\n";
+    if (!circuit.measured().empty())
+        oss << "creg c[" << circuit.measured().size() << "];\n";
+
+    for (const Op &op : circuit.ops()) {
+        oss << qasm_name(op.kind);
+        const int np = op.num_params();
+        if (np > 0) {
+            const auto angles = op_angles(op, params, x);
+            oss << "(";
+            for (int s = 0; s < np; ++s)
+                oss << (s ? "," : "") << angles[static_cast<std::size_t>(s)];
+            oss << ")";
+        }
+        oss << " q[" << op.qubits[0] << "]";
+        if (op.num_qubits() == 2)
+            oss << ",q[" << op.qubits[1] << "]";
+        oss << ";\n";
+    }
+    for (std::size_t b = 0; b < circuit.measured().size(); ++b)
+        oss << "measure q[" << circuit.measured()[b] << "] -> c[" << b
+            << "];\n";
+    return oss.str();
+}
+
+std::string
+to_text(const Circuit &circuit)
+{
+    std::ostringstream oss;
+    oss << "elv-circuit 1\n";
+    oss << "qubits " << circuit.num_qubits() << "\n";
+    for (const Op &op : circuit.ops()) {
+        switch (op.role) {
+          case ParamRole::None:
+            oss << "gate " << gate_name(op.kind) << " " << op.qubits[0];
+            if (op.num_qubits() == 2)
+                oss << " " << op.qubits[1];
+            break;
+          case ParamRole::Variational:
+            oss << "var " << gate_name(op.kind) << " " << op.qubits[0];
+            if (op.num_qubits() == 2)
+                oss << " " << op.qubits[1];
+            break;
+          case ParamRole::Embedding:
+            if (op.kind == GateKind::AmpEmbed) {
+                oss << "ampembed";
+                break;
+            }
+            oss << "embed " << gate_name(op.kind) << " " << op.qubits[0];
+            if (op.num_qubits() == 2)
+                oss << " " << op.qubits[1];
+            oss << " feat " << op.data_index;
+            if (op.data_index2 >= 0)
+                oss << "*" << op.data_index2;
+            break;
+        }
+        oss << "\n";
+    }
+    oss << "measure";
+    for (int q : circuit.measured())
+        oss << " " << q;
+    oss << "\n";
+    return oss.str();
+}
+
+Circuit
+from_text(const std::string &text)
+{
+    std::istringstream iss(text);
+    std::string line;
+
+    auto fail = [](const std::string &why) -> void {
+        elv::fatal("malformed circuit text: " + why);
+    };
+
+    if (!std::getline(iss, line) || line != "elv-circuit 1")
+        fail("missing 'elv-circuit 1' header");
+
+    std::map<std::string, GateKind> kinds;
+    for (GateKind kind :
+         {GateKind::RX, GateKind::RY, GateKind::RZ, GateKind::U3,
+          GateKind::H, GateKind::S, GateKind::Sdg, GateKind::X,
+          GateKind::Y, GateKind::Z, GateKind::CX, GateKind::CZ,
+          GateKind::SWAP, GateKind::CRY})
+        kinds[gate_name(kind)] = kind;
+
+    int num_qubits = 0;
+    {
+        if (!std::getline(iss, line))
+            fail("missing 'qubits' line");
+        std::istringstream ls(line);
+        std::string keyword;
+        ls >> keyword >> num_qubits;
+        if (keyword != "qubits" || num_qubits < 1)
+            fail("bad 'qubits' line: " + line);
+    }
+
+    Circuit circuit(num_qubits);
+    bool measured_seen = false;
+    while (std::getline(iss, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string keyword;
+        ls >> keyword;
+
+        if (keyword == "measure") {
+            std::vector<int> measured;
+            int q;
+            while (ls >> q)
+                measured.push_back(q);
+            circuit.set_measured(measured);
+            measured_seen = true;
+            continue;
+        }
+        if (keyword == "ampembed") {
+            circuit.add_amplitude_embedding();
+            continue;
+        }
+
+        std::string name;
+        ls >> name;
+        const auto it = kinds.find(name);
+        if (it == kinds.end())
+            fail("unknown gate '" + name + "'");
+        const GateKind kind = it->second;
+
+        std::vector<int> qubits(
+            static_cast<std::size_t>(gate_num_qubits(kind)));
+        for (int &q : qubits)
+            if (!(ls >> q))
+                fail("missing qubit operand: " + line);
+
+        if (keyword == "gate") {
+            circuit.add_gate(kind, qubits);
+        } else if (keyword == "var") {
+            circuit.add_variational(kind, qubits);
+        } else if (keyword == "embed") {
+            std::string feat_kw, spec;
+            ls >> feat_kw >> spec;
+            if (feat_kw != "feat" || spec.empty())
+                fail("embedding without 'feat': " + line);
+            int feature = -1, feature2 = -1;
+            const auto star = spec.find('*');
+            try {
+                if (star == std::string::npos) {
+                    feature = std::stoi(spec);
+                } else {
+                    feature = std::stoi(spec.substr(0, star));
+                    feature2 = std::stoi(spec.substr(star + 1));
+                }
+            } catch (const std::exception &) {
+                fail("bad feature spec: " + spec);
+            }
+            circuit.add_embedding(kind, qubits, feature, feature2);
+        } else {
+            fail("unknown directive '" + keyword + "'");
+        }
+    }
+    if (!measured_seen)
+        fail("missing 'measure' line");
+    return circuit;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Circuit &circuit)
+{
+    return os << to_text(circuit);
+}
+
+} // namespace elv::circ

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Circuit serialization: OpenQASM 2.0 export (for interoperability with
+ * the wider toolchain — Qiskit et al. can load the emitted files) and a
+ * native text round-trip format that preserves the IR's variational/
+ * embedding metadata, which QASM cannot express.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace elv::circ {
+
+/**
+ * Emit OpenQASM 2.0. Parametric gates need bound values, so `params`
+ * and `x` must cover the circuit's parameter/feature counts. Amplitude
+ * embeddings cannot be expressed and are rejected.
+ */
+std::string to_qasm(const Circuit &circuit,
+                    const std::vector<double> &params,
+                    const std::vector<double> &x);
+
+/**
+ * Native text format, line-oriented and diff-friendly:
+ *
+ *   elv-circuit 1
+ *   qubits 4
+ *   gate H 0
+ *   var RX 2            # variational, slot assigned in order
+ *   embed RY 1 feat 0   # embedding of feature 0
+ *   embed RZ 3 feat 0*1 # product embedding
+ *   gate CX 0 1
+ *   measure 0 2
+ *
+ * Round-trips every IR construct except pinned parameter slots
+ * (deserialized circuits are re-indexed in op order, which matches any
+ * circuit built through the public builders).
+ */
+std::string to_text(const Circuit &circuit);
+
+/** Parse the native text format; throws UsageError on malformed input. */
+Circuit from_text(const std::string &text);
+
+/** Convenience: stream a circuit as native text. */
+std::ostream &operator<<(std::ostream &os, const Circuit &circuit);
+
+} // namespace elv::circ

@@ -1,0 +1,40 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace elv {
+
+namespace detail {
+
+void
+throw_internal(const char *file, int line, const char *cond,
+               const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << file << ":" << line << ": invariant `" << cond << "` violated";
+    if (!msg.empty())
+        oss << ": " << msg;
+    throw InternalError(oss.str());
+}
+
+void
+throw_usage(const std::string &msg)
+{
+    throw UsageError(msg);
+}
+
+} // namespace detail
+
+void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace elv

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: `fatal` aborts the process for user errors
+ * (bad configuration, invalid arguments), `ELV_REQUIRE` throws for
+ * programmer errors (broken internal invariants), and `warn` / `inform`
+ * print status without stopping execution.
+ */
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace elv {
+
+/** Thrown when an internal invariant is violated (a library bug). */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &what) : std::logic_error(what) {}
+};
+
+/** Thrown for invalid user-supplied arguments or configuration. */
+class UsageError : public std::invalid_argument
+{
+  public:
+    explicit UsageError(const std::string &what)
+        : std::invalid_argument(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_internal(const char *file, int line,
+                                 const char *cond, const std::string &msg);
+[[noreturn]] void throw_usage(const std::string &msg);
+
+} // namespace detail
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Print a warning message to stderr. */
+void warn(const std::string &msg);
+
+/** Report a user error: throws UsageError with the given message. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    detail::throw_usage(msg);
+}
+
+} // namespace elv
+
+/**
+ * Check an internal invariant; throws elv::InternalError when violated.
+ * Use for conditions that indicate a bug in this library, never for
+ * validating user input (use elv::fatal for that).
+ */
+#define ELV_REQUIRE(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream elv_require_oss_;                            \
+            elv_require_oss_ << msg;                                        \
+            ::elv::detail::throw_internal(__FILE__, __LINE__, #cond,        \
+                                          elv_require_oss_.str());          \
+        }                                                                   \
+    } while (0)

@@ -1,0 +1,153 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace elv {
+
+namespace {
+
+/** splitmix64 step, used to expand a single seed into generator state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next_u64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::size_t
+Rng::uniform_index(std::size_t n)
+{
+    ELV_REQUIRE(n > 0, "uniform_index over empty range");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t bound = n;
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+    std::uint64_t x;
+    do {
+        x = next_u64();
+    } while (x >= limit);
+    return static_cast<std::size_t>(x % bound);
+}
+
+double
+Rng::normal()
+{
+    if (have_cached_normal_) {
+        have_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    have_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::size_t
+Rng::categorical(const std::vector<double> &weights)
+{
+    ELV_REQUIRE(!weights.empty(), "categorical over empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+        ELV_REQUIRE(w >= 0.0, "negative categorical weight");
+        total += w;
+    }
+    if (total <= 0.0)
+        return uniform_index(weights.size());
+
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<std::size_t>
+Rng::choose(std::size_t n, std::size_t k)
+{
+    ELV_REQUIRE(k <= n, "choose: k > n");
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pool[i] = i;
+    // Partial Fisher-Yates: the first k entries are the sample.
+    for (std::size_t i = 0; i < k; ++i) {
+        std::size_t j = i + uniform_index(n - i);
+        std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next_u64());
+}
+
+} // namespace elv

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic component in the library receives an explicit Rng (or a
+ * seed used to construct one); there is no global generator. The
+ * implementation wraps a splitmix64-seeded xoshiro256** generator so that
+ * results are identical across platforms and standard-library versions
+ * (std::mt19937 distributions are not portable across implementations).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace elv {
+
+/** Portable deterministic pseudo-random generator with helper draws. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next_u64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n); requires n > 0. */
+    std::size_t uniform_index(std::size_t n);
+
+    /** Standard normal draw (Box-Muller, deterministic). */
+    double normal();
+
+    /** Normal draw with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli draw with success probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * Sample an index from an unnormalized non-negative weight vector.
+     * Falls back to a uniform draw when all weights are zero.
+     */
+    std::size_t categorical(const std::vector<double> &weights);
+
+    /** Fisher-Yates shuffle of an index-addressable vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = uniform_index(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Choose k distinct indices from [0, n) uniformly (k <= n). */
+    std::vector<std::size_t> choose(std::size_t n, std::size_t k);
+
+    /** Derive an independent child generator (for parallel components). */
+    Rng split();
+
+  private:
+    std::uint64_t state_[4];
+    bool have_cached_normal_ = false;
+    double cached_normal_ = 0.0;
+};
+
+} // namespace elv

@@ -1,0 +1,119 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace elv {
+
+double
+mean(const std::vector<double> &xs)
+{
+    ELV_REQUIRE(!xs.empty(), "mean of empty vector");
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double mu = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - mu) * (x - mu);
+    return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double
+pearson_r(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    ELV_REQUIRE(xs.size() == ys.size(), "pearson_r: size mismatch");
+    ELV_REQUIRE(xs.size() >= 2, "pearson_r: need at least two points");
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double>
+average_ranks(const std::vector<double> &xs)
+{
+    const std::size_t n = xs.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&xs](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+    std::vector<double> ranks(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && xs[order[j + 1]] == xs[order[i]])
+            ++j;
+        // Average of 1-based ranks i+1 .. j+1.
+        const double avg = 0.5 * static_cast<double>(i + 1 + j + 1);
+        for (std::size_t k = i; k <= j; ++k)
+            ranks[order[k]] = avg;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+double
+spearman_r(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    ELV_REQUIRE(xs.size() == ys.size(), "spearman_r: size mismatch");
+    return pearson_r(average_ranks(xs), average_ranks(ys));
+}
+
+double
+total_variation_distance(const std::vector<double> &p,
+                         const std::vector<double> &q)
+{
+    ELV_REQUIRE(p.size() == q.size(), "TVD: size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i)
+        acc += std::abs(p[i] - q[i]);
+    return 0.5 * acc;
+}
+
+double
+geometric_mean(const std::vector<double> &xs)
+{
+    ELV_REQUIRE(!xs.empty(), "geometric_mean of empty vector");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        ELV_REQUIRE(x > 0.0, "geometric_mean requires positive values");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+min_value(const std::vector<double> &xs)
+{
+    ELV_REQUIRE(!xs.empty(), "min of empty vector");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+max_value(const std::vector<double> &xs)
+{
+    ELV_REQUIRE(!xs.empty(), "max of empty vector");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+} // namespace elv

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Descriptive statistics and correlation measures used throughout the
+ * evaluation harnesses (Pearson/Spearman R for the predictor-correlation
+ * figures, TVD for fidelity computation, geometric mean for Table 4).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace elv {
+
+/** Arithmetic mean; requires a non-empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n - 1 denominator); 0 for n < 2. */
+double stddev(const std::vector<double> &xs);
+
+/** Pearson linear correlation coefficient of two equal-length series. */
+double pearson_r(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/**
+ * Spearman rank correlation coefficient (Pearson R of the rank
+ * transforms, with ties assigned average ranks).
+ */
+double spearman_r(const std::vector<double> &xs,
+                  const std::vector<double> &ys);
+
+/**
+ * Total variation distance between two probability distributions:
+ * TVD(p, q) = 0.5 * sum_i |p_i - q_i|. The inputs must have equal size.
+ */
+double total_variation_distance(const std::vector<double> &p,
+                                const std::vector<double> &q);
+
+/** Geometric mean of strictly positive values. */
+double geometric_mean(const std::vector<double> &xs);
+
+/** Average ranks of a series (1-based; ties get the average rank). */
+std::vector<double> average_ranks(const std::vector<double> &xs);
+
+/** Minimum / maximum helpers over non-empty vectors. */
+double min_value(const std::vector<double> &xs);
+double max_value(const std::vector<double> &xs);
+
+} // namespace elv

@@ -1,0 +1,85 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace elv {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::set_header(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::add_row(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::fmt(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+Table::pct(double value, int precision)
+{
+    return fmt(100.0 * value, precision);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::size_t ncols = header_.size();
+    for (const auto &row : rows_)
+        ncols = std::max(ncols, row.size());
+
+    std::vector<std::size_t> widths(ncols, 0);
+    auto measure = [&widths](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    };
+    measure(header_);
+    for (const auto &row : rows_)
+        measure(row);
+
+    auto emit = [&os, &widths, ncols](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < ncols; ++c) {
+            const std::string cell = c < row.size() ? row[c] : "";
+            os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+               << cell << " ";
+        }
+        os << "|\n";
+    };
+
+    std::size_t total = 1;
+    for (std::size_t w : widths)
+        total += w + 3;
+
+    if (!title_.empty())
+        os << title_ << "\n";
+    os << std::string(total, '-') << "\n";
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    os << std::string(total, '-') << "\n";
+}
+
+void
+Table::print() const
+{
+    print(std::cout);
+}
+
+} // namespace elv

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal ASCII table printer used by the benchmark harnesses to emit the
+ * rows/series of the paper's tables and figures in a readable form.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace elv {
+
+/** Column-aligned ASCII table with a title, header and data rows. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    /** Set the header row (column names). */
+    void set_header(std::vector<std::string> header);
+
+    /** Append a data row; shorter rows are padded with empty cells. */
+    void add_row(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string fmt(double value, int precision = 3);
+
+    /** Convenience: format a percentage (value in [0, 1] -> "xx.x"). */
+    static std::string pct(double value, int precision = 1);
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace elv

@@ -1,0 +1,73 @@
+#include "compiler/compile.hpp"
+
+#include "common/logging.hpp"
+
+namespace elv::comp {
+
+bool
+is_hardware_native(const circ::Circuit &circuit,
+                   const dev::Topology &topology)
+{
+    if (circuit.num_qubits() > topology.num_qubits())
+        return false;
+    for (const circ::Op &op : circuit.ops())
+        if (op.num_qubits() == 2 &&
+            !topology.has_edge(op.qubits[0], op.qubits[1]))
+            return false;
+    return true;
+}
+
+CompileResult
+compile_for_device(const circ::Circuit &logical, const dev::Device &device,
+                   int opt_level, elv::Rng &rng)
+{
+    ELV_REQUIRE(opt_level >= 0 && opt_level <= 3, "bad optimization level");
+
+    CompileResult result;
+    if (is_hardware_native(logical, device.topology)) {
+        // Already physical (the Elivagar path): identity mapping.
+        std::vector<int> identity(
+            static_cast<std::size_t>(logical.num_qubits()));
+        for (std::size_t q = 0; q < identity.size(); ++q)
+            identity[q] = static_cast<int>(q);
+        result.circuit = logical.num_qubits() == device.num_qubits()
+                             ? logical
+                             : logical.remapped(identity,
+                                                device.num_qubits());
+        result.initial_mapping = identity;
+        result.swaps_inserted = 0;
+    } else {
+        SabreOptions options;
+        switch (opt_level) {
+          case 0:
+          case 1:
+            options.trials = 1;
+            options.refinement_rounds = 1;
+            break;
+          case 2:
+            options.trials = 2;
+            options.refinement_rounds = 1;
+            break;
+          default:
+            options.trials = 4;
+            options.refinement_rounds = 2;
+            break;
+        }
+        RouteResult routed = sabre_route(logical, device.topology, rng,
+                                         options);
+        result.circuit = std::move(routed.circuit);
+        result.initial_mapping = std::move(routed.initial_mapping);
+        result.swaps_inserted = routed.swaps_inserted;
+    }
+
+    result.circuit = decompose_swaps(result.circuit);
+    if (opt_level == 1)
+        result.circuit = cancel_adjacent_inverses(result.circuit);
+    else if (opt_level >= 2)
+        result.circuit = cancel_to_fixpoint(result.circuit);
+
+    result.stats = circuit_stats(result.circuit);
+    return result;
+}
+
+} // namespace elv::comp

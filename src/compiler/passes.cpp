@@ -1,0 +1,170 @@
+#include "compiler/passes.hpp"
+
+#include "common/logging.hpp"
+
+namespace elv::comp {
+
+using circ::Circuit;
+using circ::GateKind;
+using circ::Op;
+using circ::ParamRole;
+
+namespace {
+
+/** Append an op verbatim, keeping its parameter slot. */
+void
+copy_op(Circuit &out, const Op &op)
+{
+    out.append_op(op);
+}
+
+/** True when `a` followed immediately by `b` is the identity. */
+bool
+are_inverse_pair(const Op &a, const Op &b)
+{
+    if (a.role != ParamRole::None || b.role != ParamRole::None)
+        return false;
+    if (a.qubits != b.qubits) {
+        // CZ and SWAP are symmetric in their operands.
+        const bool symmetric =
+            (a.kind == GateKind::CZ || a.kind == GateKind::SWAP) &&
+            a.kind == b.kind && a.qubits[0] == b.qubits[1] &&
+            a.qubits[1] == b.qubits[0];
+        if (!symmetric)
+            return false;
+        return true;
+    }
+    if (a.kind == b.kind) {
+        switch (a.kind) {
+          case GateKind::H:
+          case GateKind::X:
+          case GateKind::Y:
+          case GateKind::Z:
+          case GateKind::CX:
+          case GateKind::CZ:
+          case GateKind::SWAP:
+            return true;
+          default:
+            return false;
+        }
+    }
+    return (a.kind == GateKind::S && b.kind == GateKind::Sdg) ||
+           (a.kind == GateKind::Sdg && b.kind == GateKind::S);
+}
+
+} // namespace
+
+Circuit
+decompose_swaps(const Circuit &circuit)
+{
+    Circuit out(circuit.num_qubits());
+    for (const Op &op : circuit.ops()) {
+        if (op.kind == GateKind::SWAP) {
+            out.add_gate(GateKind::CX, {op.qubits[0], op.qubits[1]});
+            out.add_gate(GateKind::CX, {op.qubits[1], op.qubits[0]});
+            out.add_gate(GateKind::CX, {op.qubits[0], op.qubits[1]});
+        } else {
+            copy_op(out, op);
+        }
+    }
+    out.set_measured(circuit.measured());
+    return out;
+}
+
+Circuit
+cancel_adjacent_inverses(const Circuit &circuit)
+{
+    const auto &ops = circuit.ops();
+    std::vector<bool> removed(ops.size(), false);
+
+    // For each op, find the next op that shares a qubit; if it is the
+    // exact inverse and no other op touches either qubit in between,
+    // drop both.
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (removed[i] || ops[i].role != ParamRole::None ||
+            ops[i].kind == GateKind::AmpEmbed)
+            continue;
+        for (std::size_t j = i + 1; j < ops.size(); ++j) {
+            if (removed[j])
+                continue;
+            const Op &a = ops[i];
+            const Op &b = ops[j];
+            // Does b touch any qubit of a? (AmpEmbed touches all.)
+            bool touches = b.kind == GateKind::AmpEmbed;
+            for (int qa = 0; qa < a.num_qubits(); ++qa)
+                for (int qb = 0; qb < b.num_qubits(); ++qb)
+                    if (a.qubits[qa] == b.qubits[qb])
+                        touches = true;
+            if (!touches)
+                continue;
+            // First touching op: cancel only on an exact inverse whose
+            // qubit set equals a's (otherwise a is blocked).
+            if (are_inverse_pair(a, b) &&
+                a.num_qubits() == b.num_qubits()) {
+                // For 2-qubit pairs, also require that no op between i
+                // and j touched the *other* qubit.
+                bool blocked = false;
+                for (std::size_t k = i + 1; k < j && !blocked; ++k) {
+                    if (removed[k])
+                        continue;
+                    for (int qa = 0; qa < a.num_qubits(); ++qa)
+                        for (int qk = 0; qk < ops[k].num_qubits(); ++qk)
+                            if (ops[k].qubits[qk] == a.qubits[qa])
+                                blocked = true;
+                }
+                if (!blocked) {
+                    removed[i] = removed[j] = true;
+                }
+            }
+            break;
+        }
+    }
+
+    Circuit out(circuit.num_qubits());
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        if (!removed[i])
+            copy_op(out, ops[i]);
+    out.set_measured(circuit.measured());
+    return out;
+}
+
+Circuit
+cancel_to_fixpoint(const Circuit &circuit)
+{
+    Circuit current = circuit;
+    while (true) {
+        Circuit next = cancel_adjacent_inverses(current);
+        if (next.ops().size() == current.ops().size())
+            return current;
+        current = std::move(next);
+    }
+}
+
+CircuitStats
+circuit_stats(const Circuit &circuit)
+{
+    CircuitStats stats;
+    for (const Op &op : circuit.ops()) {
+        switch (op.kind) {
+          case GateKind::AmpEmbed:
+            break;
+          case GateKind::SWAP:
+            stats.gates_2q += 3;
+            break;
+          case GateKind::CRY:
+            // CRY lowers to RY, CX, RY, CX on hardware.
+            stats.gates_2q += 2;
+            stats.gates_1q += 2;
+            break;
+          default:
+            if (op.num_qubits() == 2)
+                ++stats.gates_2q;
+            else
+                ++stats.gates_1q;
+        }
+    }
+    stats.depth = circuit.depth();
+    return stats;
+}
+
+} // namespace elv::comp

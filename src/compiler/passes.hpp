@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Circuit optimization passes, mirroring (coarsely) what the Qiskit
+ * optimization levels the paper uses do for its baselines: gate
+ * decomposition into native gates, adjacent-inverse cancellation, and
+ * compiled-circuit statistics (the quantities of Tables 5-6).
+ */
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace elv::comp {
+
+/**
+ * Decompose non-native gates for superconducting backends:
+ * SWAP -> 3 CX. (CRY stays in the IR; its doubled two-qubit cost is
+ * accounted for by the simulators and by stats().)
+ */
+circ::Circuit decompose_swaps(const circ::Circuit &circuit);
+
+/**
+ * Cancel adjacent self-inverse / inverse fixed-gate pairs (H-H, X-X,
+ * Y-Y, Z-Z, S-Sdg, Sdg-S, CX-CX, CZ-CZ, SWAP-SWAP) that have no
+ * intervening op on any shared qubit. One pass; call repeatedly (or use
+ * cancel_to_fixpoint) for cascading cancellations.
+ */
+circ::Circuit cancel_adjacent_inverses(const circ::Circuit &circuit);
+
+/** Iterate cancel_adjacent_inverses until no further reduction. */
+circ::Circuit cancel_to_fixpoint(const circ::Circuit &circuit);
+
+/** Compiled-circuit statistics reported in Tables 5 and 6. */
+struct CircuitStats
+{
+    /** 1-qubit gate count (CRY contributes 2 per its decomposition). */
+    int gates_1q = 0;
+    /** 2-qubit gate count (SWAP counts 3, CRY counts 2). */
+    int gates_2q = 0;
+    /** Circuit depth. */
+    int depth = 0;
+};
+
+/** Compute gate-count/depth statistics of a circuit. */
+CircuitStats circuit_stats(const circ::Circuit &circuit);
+
+} // namespace elv::comp

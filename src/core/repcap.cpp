@@ -1,0 +1,110 @@
+#include "core/repcap.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/statistics.hpp"
+#include "sim/statevector.hpp"
+#include "sim/unitaries.hpp"
+
+namespace elv::core {
+
+RepCapResult
+representational_capacity(const circ::Circuit &circuit,
+                          const qml::Dataset &data, elv::Rng &rng,
+                          const RepCapOptions &options)
+{
+    data.check();
+    ELV_REQUIRE(options.samples_per_class >= 1 &&
+                    options.param_inits >= 1 && options.num_bases >= 1,
+                "bad RepCap options");
+    ELV_REQUIRE(!circuit.measured().empty(), "circuit measures nothing");
+
+    std::vector<int> kept;
+    const circ::Circuit local = circuit.compacted(kept);
+    const auto &measured = local.measured();
+
+    // Select d_c samples per class (indices grouped by class).
+    const auto chosen =
+        qml::sample_per_class(data, options.samples_per_class, rng);
+    const std::size_t d = chosen.size();
+    ELV_REQUIRE(d >= 2, "need at least two samples for RepCap");
+
+    // R_ref(i, j) = 1 iff labels match.
+    // Accumulate R_C over parameter inits and random bases.
+    std::vector<double> r_c(d * d, 0.0);
+    RepCapResult result;
+
+    std::vector<sim::StateVector> states;
+    states.reserve(d);
+
+    for (int t = 0; t < options.param_inits; ++t) {
+        // Random parameter vector theta_t (uniformly sampled angles).
+        std::vector<double> params(
+            static_cast<std::size_t>(local.num_params()));
+        for (auto &p : params)
+            p = rng.uniform(-M_PI, M_PI);
+
+        // Prepare the d output states once per init.
+        states.clear();
+        for (std::size_t s = 0; s < d; ++s) {
+            sim::StateVector psi(local.num_qubits());
+            psi.run(local, params, data.samples[chosen[s]]);
+            states.push_back(std::move(psi));
+            ++result.circuit_executions;
+        }
+
+        for (int k = 0; k < options.num_bases; ++k) {
+            // Random measurement basis: a random U3 on each measured
+            // qubit (the alpha array of Algorithm 2).
+            std::vector<sim::Mat2> basis;
+            basis.reserve(measured.size());
+            for (std::size_t m = 0; m < measured.size(); ++m) {
+                const std::array<double, 3> angles = {
+                    rng.uniform(0.0, M_PI),
+                    rng.uniform(0.0, 2.0 * M_PI),
+                    rng.uniform(0.0, 2.0 * M_PI)};
+                basis.push_back(
+                    sim::gate_matrix_1q(circ::GateKind::U3, angles));
+            }
+
+            // Outcome distribution of each state in this basis.
+            std::vector<std::vector<double>> dists;
+            dists.reserve(d);
+            for (const auto &psi : states) {
+                sim::StateVector rotated = psi;
+                for (std::size_t m = 0; m < measured.size(); ++m)
+                    rotated.apply_1q(basis[m], measured[m]);
+                dists.push_back(rotated.probabilities(measured));
+            }
+
+            for (std::size_t i = 0; i < d; ++i) {
+                r_c[i * d + i] += 1.0;
+                for (std::size_t j = i + 1; j < d; ++j) {
+                    const double sim_ij =
+                        1.0 - elv::total_variation_distance(dists[i],
+                                                            dists[j]);
+                    r_c[i * d + j] += sim_ij;
+                    r_c[j * d + i] += sim_ij;
+                }
+            }
+        }
+    }
+
+    const double norm = 1.0 / (static_cast<double>(options.param_inits) *
+                               static_cast<double>(options.num_bases));
+    double frob2 = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < d; ++j) {
+            const double ref =
+                data.labels[chosen[i]] == data.labels[chosen[j]] ? 1.0
+                                                                 : 0.0;
+            const double diff = r_c[i * d + j] * norm - ref;
+            frob2 += diff * diff;
+        }
+    }
+    result.repcap = 1.0 - frob2 / static_cast<double>(d * d);
+    return result;
+}
+
+} // namespace elv::core

@@ -1,0 +1,98 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace elv::core {
+
+SearchResult
+elivagar_search(const dev::Device &device, const qml::Dataset &train,
+                const ElivagarConfig &config)
+{
+    ELV_REQUIRE(config.num_candidates >= 1, "need at least one candidate");
+    ELV_REQUIRE(config.keep_fraction > 0.0 && config.keep_fraction <= 1.0,
+                "bad keep fraction");
+    train.check();
+
+    elv::Rng rng(config.seed ^ 0xe11a6a42ULL);
+    SearchResult result;
+
+    // Step 1: candidate generation.
+    for (int n = 0; n < config.num_candidates; ++n) {
+        CandidateRecord record;
+        record.circuit = generate_candidate(device, config.candidate, rng);
+        result.candidates.push_back(std::move(record));
+    }
+
+    // Step 2: CNR for every candidate.
+    if (config.use_cnr) {
+        for (auto &record : result.candidates) {
+            const CnrResult cnr = clifford_noise_resilience(
+                record.circuit, device, rng, config.cnr);
+            record.cnr = cnr.cnr;
+            result.cnr_executions += cnr.circuit_executions;
+        }
+
+        // Step 3: early rejection — below threshold or outside the top
+        // keep_fraction.
+        std::vector<double> cnrs;
+        cnrs.reserve(result.candidates.size());
+        for (const auto &record : result.candidates)
+            cnrs.push_back(record.cnr);
+        std::sort(cnrs.begin(), cnrs.end(), std::greater<>());
+        const std::size_t keep_count = std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::floor(
+                   config.keep_fraction *
+                   static_cast<double>(result.candidates.size()))));
+        const double rank_cutoff = cnrs[keep_count - 1];
+        for (auto &record : result.candidates)
+            record.rejected_by_cnr =
+                record.cnr < config.cnr_threshold ||
+                record.cnr < rank_cutoff;
+        // Never reject everything: keep the single most resilient
+        // candidate even when all CNRs fall below the threshold.
+        if (std::all_of(result.candidates.begin(),
+                        result.candidates.end(),
+                        [](const CandidateRecord &r) {
+                            return r.rejected_by_cnr;
+                        })) {
+            auto best = std::max_element(
+                result.candidates.begin(), result.candidates.end(),
+                [](const CandidateRecord &a, const CandidateRecord &b) {
+                    return a.cnr < b.cnr;
+                });
+            best->rejected_by_cnr = false;
+        }
+    }
+
+    // Step 4: RepCap for the survivors only.
+    for (auto &record : result.candidates) {
+        if (record.rejected_by_cnr)
+            continue;
+        ++result.survivors;
+        const RepCapResult rc = representational_capacity(
+            record.circuit, train, rng, config.repcap);
+        record.repcap = rc.repcap;
+        result.repcap_executions += rc.circuit_executions;
+    }
+
+    // Step 5: composite score and final selection (Eq. 7).
+    const CandidateRecord *best = nullptr;
+    for (auto &record : result.candidates) {
+        if (record.rejected_by_cnr)
+            continue;
+        record.score = std::pow(std::max(record.cnr, 0.0),
+                                config.alpha_cnr) *
+                       record.repcap;
+        if (!best || record.score > best->score)
+            best = &record;
+    }
+    ELV_REQUIRE(best != nullptr, "no surviving candidate");
+    result.best_circuit = best->circuit;
+    result.best_score = best->score;
+    return result;
+}
+
+} // namespace elv::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The Elivagar search pipeline (Sec. 3, Fig. 4):
+ *
+ *   1. generate device- and noise-aware candidates (Algorithm 1);
+ *   2. compute Clifford noise resilience for each candidate;
+ *   3. reject candidates below the CNR threshold or outside the top
+ *      keep-fraction;
+ *   4. compute representational capacity for the survivors;
+ *   5. rank by the composite score CNR^alpha * RepCap and return the
+ *      best circuit.
+ *
+ * Every stage tallies its circuit executions so the Table 4 resource
+ * comparison is measured from the same code path.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidate_gen.hpp"
+#include "core/cnr.hpp"
+#include "core/repcap.hpp"
+#include "device/device.hpp"
+#include "qml/dataset.hpp"
+
+namespace elv::core {
+
+/** Full Elivagar configuration. */
+struct ElivagarConfig
+{
+    /** Candidate pool size. */
+    int num_candidates = 64;
+    /** Circuit shape (Algorithm 1 inputs). */
+    CandidateConfig candidate;
+    /** CNR evaluation settings. */
+    CnrOptions cnr;
+    /** RepCap evaluation settings. */
+    RepCapOptions repcap;
+    /** Reject candidates with CNR below this threshold (Sec. 5.3). */
+    double cnr_threshold = 0.7;
+    /** Keep at most this fraction of candidates after CNR ranking. */
+    double keep_fraction = 0.5;
+    /** Composite-score exponent alpha_CNR (Eq. 7). */
+    double alpha_cnr = 0.5;
+    /** Skip CNR entirely (the "RepCap only" ablation of Fig. 9). */
+    bool use_cnr = true;
+    /** Search seed. */
+    std::uint64_t seed = 0;
+};
+
+/** Per-candidate diagnostics. */
+struct CandidateRecord
+{
+    circ::Circuit circuit;
+    double cnr = 1.0;
+    double repcap = 0.0;
+    double score = 0.0;
+    bool rejected_by_cnr = false;
+};
+
+/** Search output: the chosen circuit plus bookkeeping. */
+struct SearchResult
+{
+    circ::Circuit best_circuit;
+    double best_score = 0.0;
+    std::vector<CandidateRecord> candidates;
+    /** Candidates surviving the CNR filter. */
+    int survivors = 0;
+    /** Device-style circuit executions spent on CNR. */
+    std::uint64_t cnr_executions = 0;
+    /** Circuit executions spent on RepCap. */
+    std::uint64_t repcap_executions = 0;
+
+    std::uint64_t
+    total_executions() const
+    {
+        return cnr_executions + repcap_executions;
+    }
+};
+
+/**
+ * Run the Elivagar search for the QML task given by `train` on
+ * `device`. The returned circuit is hardware-native (physical qubit
+ * labels, coupled 2-qubit gates) and untrained; train it with
+ * qml::train_circuit.
+ */
+SearchResult elivagar_search(const dev::Device &device,
+                             const qml::Dataset &train,
+                             const ElivagarConfig &config);
+
+} // namespace elv::core

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Device coupling-graph representation and generators for the topology
+ * families used in the paper's evaluation: IBM heavy-hex (7/16/27/127
+ * qubits), Rigetti Aspen octagon lattices, the OQC Lucy ring, and linear
+ * chains (IBMQ Manila).
+ */
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace elv::dev {
+
+/** Undirected coupling graph of a quantum device. */
+class Topology
+{
+  public:
+    Topology(int num_qubits, std::vector<std::pair<int, int>> edges);
+
+    int num_qubits() const { return num_qubits_; }
+    const std::vector<std::pair<int, int>> &edges() const { return edges_; }
+    const std::vector<int> &neighbors(int q) const;
+    bool has_edge(int a, int b) const;
+
+    /** Index of edge (a, b) in edges(); -1 when absent. */
+    int edge_index(int a, int b) const;
+
+    /** True iff the whole graph is connected. */
+    bool is_connected() const;
+
+    /**
+     * BFS distance between two qubits (number of hops); used by the
+     * router's lookahead heuristic. Returns -1 if unreachable.
+     */
+    int distance(int a, int b) const;
+
+    /** All-pairs distance matrix (row-major n x n). */
+    std::vector<int> all_pairs_distances() const;
+
+  private:
+    int num_qubits_;
+    std::vector<std::pair<int, int>> edges_;
+    std::vector<std::vector<int>> adjacency_;
+};
+
+/** @name Topology generators @{ */
+
+/** Linear chain 0-1-...-(n-1) (e.g. IBMQ Manila, n = 5). */
+Topology line_topology(int n);
+
+/** Ring of n qubits (e.g. OQC Lucy, n = 8). */
+Topology ring_topology(int n);
+
+/** The 7-qubit IBM Falcon "H" shape (Jakarta/Nairobi/Lagos/Perth). */
+Topology ibm_falcon_7();
+
+/** The 16-qubit IBM heavy-hex (Guadalupe/Geneva as used in Table 3). */
+Topology ibm_heavy_hex_16();
+
+/** The 27-qubit IBM Falcon heavy-hex (Kolkata/Mumbai). */
+Topology ibm_falcon_27();
+
+/**
+ * Generic heavy-hex lattice generator: `rows` x `cols` hexagon cells
+ * (horizontal qubit rows of length 4 * cols + 1 joined by bridge qubits
+ * every fourth site, alternating offset per row pair).
+ */
+Topology heavy_hex_lattice(int rows, int cols);
+
+/**
+ * The 127-qubit IBM Eagle heavy-hex layout (Kyoto/Osaka): seven qubit
+ * rows of lengths 14/15/15/15/15/15/14 joined by six bridge rows of four
+ * qubits each.
+ */
+Topology ibm_eagle_127();
+
+/**
+ * Rigetti Aspen-style lattice: a grid of 8-qubit octagon rings connected
+ * horizontally and vertically. aspen_lattice(2, 5) has 80 qubits
+ * (Aspen-M-2); `drop_last` removes the final qubit (79-qubit Aspen-M-3).
+ */
+Topology aspen_lattice(int rows, int cols, bool drop_last = false);
+
+/** @} */
+
+/**
+ * Sample a random connected subgraph of `size` qubits: grow from a random
+ * seed qubit by repeatedly adding a uniformly random frontier neighbor.
+ * Requires size <= num_qubits and a connected topology region.
+ */
+std::vector<int> sample_connected_subgraph(const Topology &topo, int size,
+                                           elv::Rng &rng);
+
+} // namespace elv::dev

@@ -1,0 +1,94 @@
+#include "extensions/quantumnat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace elv::ext {
+
+void
+QuantumNat::calibrate(const circ::Circuit &circuit,
+                      const std::vector<double> &params,
+                      const qml::Dataset &data,
+                      const qml::DistributionFn &noisy_fn,
+                      const qml::DistributionFn &ideal_fn,
+                      int max_samples)
+{
+    data.check();
+    const std::size_t n = std::min(data.samples.size(),
+                                   static_cast<std::size_t>(max_samples));
+    ELV_REQUIRE(n >= 2, "calibration needs at least two samples");
+    const std::size_t k = static_cast<std::size_t>(data.num_classes);
+
+    std::vector<std::vector<double>> noisy_probs, ideal_probs;
+    for (std::size_t i = 0; i < n; ++i) {
+        noisy_probs.push_back(qml::class_probabilities_from(
+            noisy_fn(circuit, params, data.samples[i]),
+            data.num_classes));
+        ideal_probs.push_back(qml::class_probabilities_from(
+            ideal_fn(circuit, params, data.samples[i]),
+            data.num_classes));
+    }
+
+    auto stats = [n, k](const std::vector<std::vector<double>> &probs,
+                        std::vector<double> &mean,
+                        std::vector<double> &stddev) {
+        mean.assign(k, 0.0);
+        stddev.assign(k, 0.0);
+        for (const auto &p : probs)
+            for (std::size_t c = 0; c < k; ++c)
+                mean[c] += p[c];
+        for (auto &m : mean)
+            m /= static_cast<double>(n);
+        for (const auto &p : probs)
+            for (std::size_t c = 0; c < k; ++c)
+                stddev[c] += (p[c] - mean[c]) * (p[c] - mean[c]);
+        for (auto &s : stddev)
+            s = std::sqrt(s / static_cast<double>(n - 1));
+    };
+    stats(noisy_probs, noisy_mean_, noisy_std_);
+    stats(ideal_probs, ideal_mean_, ideal_std_);
+}
+
+std::vector<double>
+QuantumNat::normalize(const std::vector<double> &noisy_class_probs) const
+{
+    ELV_REQUIRE(is_calibrated(), "QuantumNat::calibrate has not run");
+    ELV_REQUIRE(noisy_class_probs.size() == noisy_mean_.size(),
+                "class count mismatch");
+    std::vector<double> scores(noisy_class_probs.size());
+    for (std::size_t c = 0; c < scores.size(); ++c) {
+        const double sigma = std::max(noisy_std_[c], 1e-6);
+        const double z = (noisy_class_probs[c] - noisy_mean_[c]) / sigma;
+        // Re-embed into the noiseless statistics.
+        scores[c] = ideal_mean_[c] + z * std::max(ideal_std_[c], 1e-6);
+    }
+    return scores;
+}
+
+qml::EvalResult
+QuantumNat::evaluate(const circ::Circuit &circuit,
+                     const std::vector<double> &params,
+                     const qml::Dataset &data,
+                     const qml::DistributionFn &noisy_fn) const
+{
+    ELV_REQUIRE(!data.samples.empty(), "empty evaluation set");
+    qml::EvalResult result;
+    int correct = 0;
+    for (std::size_t i = 0; i < data.samples.size(); ++i) {
+        const auto probs = qml::class_probabilities_from(
+            noisy_fn(circuit, params, data.samples[i]),
+            data.num_classes);
+        const auto scores = normalize(probs);
+        result.loss += qml::cross_entropy(probs, data.labels[i]);
+        if (qml::predict_class(scores) == data.labels[i])
+            ++correct;
+    }
+    result.loss /= static_cast<double>(data.samples.size());
+    result.accuracy = static_cast<double>(correct) /
+                      static_cast<double>(data.samples.size());
+    return result;
+}
+
+} // namespace elv::ext

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * QuantumNAT companion framework (Wang et al., DAC 2022) in the
+ * simplified form the paper composes with Elivagar and QuantumNAS
+ * (Sec. 9.5 / Fig. 11a): post-measurement *normalization* of class
+ * scores calibrated against the noisy backend.
+ *
+ * Calibration runs the trained circuit on a training subset through
+ * both the noiseless and the noisy distribution providers and records
+ * per-class mean/std of the class probabilities. At inference, noisy
+ * class probabilities are z-scored with the noisy statistics and
+ * re-centred on the noiseless means — undoing the systematic bias that
+ * device noise puts on the measurement statistics (the normalization +
+ * error-mitigation components of QuantumNAT; the original's
+ * noise-injection training loop is approximated by calibrating against
+ * the same noisy backend used for inference).
+ */
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "qml/classifier.hpp"
+#include "qml/dataset.hpp"
+
+namespace elv::ext {
+
+/** Calibrated post-measurement normalization. */
+class QuantumNat
+{
+  public:
+    /**
+     * Calibrate on (a subset of) `data`: estimates class-probability
+     * statistics under both providers for the trained circuit.
+     */
+    void calibrate(const circ::Circuit &circuit,
+                   const std::vector<double> &params,
+                   const qml::Dataset &data,
+                   const qml::DistributionFn &noisy_fn,
+                   const qml::DistributionFn &ideal_fn,
+                   int max_samples = 64);
+
+    /** True once calibrate() has run. */
+    bool is_calibrated() const { return !noisy_mean_.empty(); }
+
+    /**
+     * Normalized class scores for one noisy outcome distribution
+     * (argmax of these is the prediction).
+     */
+    std::vector<double> normalize(
+        const std::vector<double> &noisy_class_probs) const;
+
+    /** Evaluate accuracy with normalization applied. */
+    qml::EvalResult evaluate(const circ::Circuit &circuit,
+                             const std::vector<double> &params,
+                             const qml::Dataset &data,
+                             const qml::DistributionFn &noisy_fn) const;
+
+  private:
+    std::vector<double> noisy_mean_, noisy_std_;
+    std::vector<double> ideal_mean_, ideal_std_;
+};
+
+} // namespace elv::ext

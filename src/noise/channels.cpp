@@ -1,0 +1,187 @@
+#include "noise/channels.hpp"
+
+#include <cmath>
+
+#include "circuit/gate.hpp"
+#include "common/logging.hpp"
+
+namespace elv::noise {
+
+using sim::Amp;
+using sim::Mat2;
+using sim::Mat4;
+
+namespace {
+
+Mat2
+scaled(const Mat2 &m, double s)
+{
+    Mat2 out = m;
+    for (auto &row : out)
+        for (auto &e : row)
+            e *= s;
+    return out;
+}
+
+Mat2
+pauli_matrix(int which)
+{
+    static const std::array<double, 3> no_angles = {0, 0, 0};
+    switch (which) {
+      case 0: return sim::identity2();
+      case 1: return sim::gate_matrix_1q(circ::GateKind::X, no_angles);
+      case 2: return sim::gate_matrix_1q(circ::GateKind::Y, no_angles);
+      default: return sim::gate_matrix_1q(circ::GateKind::Z, no_angles);
+    }
+}
+
+} // namespace
+
+std::vector<Mat2>
+depolarizing_1q_kraus(double p)
+{
+    ELV_REQUIRE(p >= 0.0 && p <= 1.0, "bad depolarizing probability");
+    std::vector<Mat2> kraus;
+    kraus.push_back(scaled(sim::identity2(), std::sqrt(1.0 - p)));
+    for (int k = 1; k <= 3; ++k)
+        kraus.push_back(scaled(pauli_matrix(k), std::sqrt(p / 3.0)));
+    return kraus;
+}
+
+std::vector<Mat4>
+depolarizing_2q_kraus(double p)
+{
+    ELV_REQUIRE(p >= 0.0 && p <= 1.0, "bad depolarizing probability");
+    std::vector<Mat4> kraus;
+    kraus.reserve(16);
+    const double s = std::sqrt(p / 15.0);
+    for (int a = 0; a < 4; ++a) {
+        const Mat2 pa = pauli_matrix(a);
+        for (int b = 0; b < 4; ++b) {
+            const Mat2 pb = pauli_matrix(b);
+            const double w = (a == 0 && b == 0) ? std::sqrt(1.0 - p) : s;
+            Mat4 k = {};
+            // Tensor product in the |q0 q1> basis: index = 2*b0 + b1.
+            for (int i0 = 0; i0 < 2; ++i0)
+                for (int j0 = 0; j0 < 2; ++j0)
+                    for (int i1 = 0; i1 < 2; ++i1)
+                        for (int j1 = 0; j1 < 2; ++j1)
+                            k[2 * i0 + i1][2 * j0 + j1] =
+                                w * pa[i0][j0] * pb[i1][j1];
+            kraus.push_back(k);
+        }
+    }
+    return kraus;
+}
+
+std::vector<Mat2>
+amplitude_damping_kraus(double gamma)
+{
+    ELV_REQUIRE(gamma >= 0.0 && gamma <= 1.0, "bad damping probability");
+    Mat2 k0 = {};
+    k0[0][0] = Amp(1);
+    k0[1][1] = Amp(std::sqrt(1.0 - gamma));
+    Mat2 k1 = {};
+    k1[0][1] = Amp(std::sqrt(gamma));
+    return {k0, k1};
+}
+
+std::vector<Mat2>
+phase_damping_kraus(double lambda)
+{
+    ELV_REQUIRE(lambda >= 0.0 && lambda <= 1.0, "bad dephasing");
+    Mat2 k0 = {};
+    k0[0][0] = Amp(1);
+    k0[1][1] = Amp(std::sqrt(1.0 - lambda));
+    Mat2 k1 = {};
+    k1[1][1] = Amp(std::sqrt(lambda));
+    return {k0, k1};
+}
+
+ThermalParams
+thermal_relaxation_params(double t1_us, double t2_us, double duration_ns)
+{
+    ELV_REQUIRE(t1_us > 0.0 && t2_us > 0.0, "bad coherence times");
+    const double t_us = duration_ns * 1e-3;
+    ThermalParams params;
+    params.gamma = 1.0 - std::exp(-t_us / t1_us);
+    // Total coherence factor must be exp(-t/T2); amplitude damping
+    // already contributes exp(-t/(2 T1)).
+    const double residual = -t_us / t2_us + t_us / (2.0 * t1_us);
+    params.lambda =
+        residual >= 0.0 ? 0.0 : 1.0 - std::exp(2.0 * residual);
+    return params;
+}
+
+std::vector<Mat2>
+thermal_relaxation_kraus(double t1_us, double t2_us, double duration_ns)
+{
+    const ThermalParams params =
+        thermal_relaxation_params(t1_us, t2_us, duration_ns);
+    const double gamma = params.gamma;
+    const double lambda = params.lambda;
+
+    // Compose amplitude damping then phase damping: Kraus products.
+    const auto ad = amplitude_damping_kraus(gamma);
+    const auto pd = phase_damping_kraus(lambda);
+    std::vector<Mat2> kraus;
+    for (const Mat2 &a : pd)
+        for (const Mat2 &b : ad)
+            kraus.push_back(sim::matmul(a, b));
+    return kraus;
+}
+
+PauliProbs
+depolarizing_pauli(double p)
+{
+    PauliProbs probs;
+    probs.pi = 1.0 - p;
+    probs.px = probs.py = probs.pz = p / 3.0;
+    return probs;
+}
+
+PauliProbs
+thermal_relaxation_pauli(double t1_us, double t2_us, double duration_ns)
+{
+    const double t_us = duration_ns * 1e-3;
+    const double rz = std::exp(-t_us / t1_us); // <X>, <Y> shrink by r_xy
+    const double rxy = std::exp(-t_us / t2_us);
+    // Pauli channel with transfer factors (rx, ry, rz) =
+    // (rxy, rxy, rz): p_k = (1 + sum_j s_kj r_j) / 4.
+    PauliProbs probs;
+    probs.pi = (1.0 + rxy + rxy + rz) / 4.0;
+    probs.px = (1.0 + rxy - rxy - rz) / 4.0;
+    probs.py = probs.px;
+    probs.pz = (1.0 - rxy - rxy + rz) / 4.0;
+    // Guard against tiny negative values from floating error.
+    for (double *p : {&probs.pi, &probs.px, &probs.py, &probs.pz})
+        if (*p < 0.0)
+            *p = 0.0;
+    return probs;
+}
+
+PauliProbs
+compose(const PauliProbs &a, const PauliProbs &b)
+{
+    // Pauli multiplication table: X*Y = Z etc. (phases are irrelevant
+    // for a stochastic channel).
+    const double pa[4] = {a.pi, a.px, a.py, a.pz};
+    const double pb[4] = {b.pi, b.px, b.py, b.pz};
+    double out[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            out[i ^ j] += pa[i] * pb[j];
+    // Note: XOR of indices {I=0, X=1, Y=2, Z=3} is NOT the Pauli group
+    // product for all pairs; the correct table maps (X, Z) -> Y etc.
+    // Indices {0,1,2,3} = {I,X,Y,Z}: product of distinct non-identity
+    // Paulis is the third one, matching XOR on {1,2,3}. XOR also fixes
+    // P*P = I and I*P = P, so XOR is correct here.
+    PauliProbs result;
+    result.pi = out[0];
+    result.px = out[1];
+    result.py = out[2];
+    result.pz = out[3];
+    return result;
+}
+
+} // namespace elv::noise

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quantum noise channels as Kraus operator sets, plus Pauli-twirled
+ * approximations for the stabilizer backend.
+ *
+ * The device noise pipeline is: calibration data (gate error, T1/T2,
+ * durations) -> depolarizing + thermal-relaxation channels applied after
+ * each gate -> exact density-matrix evolution, or -> Pauli twirl ->
+ * stochastic Pauli injection in the stabilizer simulator.
+ */
+#pragma once
+
+#include <vector>
+
+#include "sim/unitaries.hpp"
+
+namespace elv::noise {
+
+/** Single-qubit depolarizing channel with error probability p. */
+std::vector<sim::Mat2> depolarizing_1q_kraus(double p);
+
+/** Two-qubit depolarizing channel with error probability p. */
+std::vector<sim::Mat4> depolarizing_2q_kraus(double p);
+
+/** Amplitude damping with decay probability gamma. */
+std::vector<sim::Mat2> amplitude_damping_kraus(double gamma);
+
+/** Phase damping with dephasing probability lambda. */
+std::vector<sim::Mat2> phase_damping_kraus(double lambda);
+
+/**
+ * Thermal relaxation over `duration_ns` for a qubit with the given
+ * T1/T2 (microseconds): amplitude damping composed with the pure
+ * dephasing needed so coherences decay as exp(-t/T2). Requires
+ * T2 <= 2 * T1.
+ */
+std::vector<sim::Mat2> thermal_relaxation_kraus(double t1_us, double t2_us,
+                                                double duration_ns);
+
+/** Decay/dephasing probabilities of a thermal-relaxation channel. */
+struct ThermalParams
+{
+    double gamma = 0.0;  ///< amplitude-damping probability
+    double lambda = 0.0; ///< additional pure-dephasing probability
+};
+
+/** Gamma/lambda of thermal relaxation over `duration_ns`. */
+ThermalParams thermal_relaxation_params(double t1_us, double t2_us,
+                                        double duration_ns);
+
+/** Probabilities of a single-qubit Pauli channel (sums to 1). */
+struct PauliProbs
+{
+    double pi = 1.0;
+    double px = 0.0;
+    double py = 0.0;
+    double pz = 0.0;
+};
+
+/** Pauli form of the depolarizing channel. */
+PauliProbs depolarizing_pauli(double p);
+
+/**
+ * Pauli-twirled approximation of thermal relaxation. Twirling keeps the
+ * diagonal of the Pauli transfer matrix (rx = ry = exp(-t/T2),
+ * rz = exp(-t/T1)) and discards the non-unital affine part, which is the
+ * standard stochastic-Pauli approximation used for scalable noisy
+ * Clifford simulation.
+ */
+PauliProbs thermal_relaxation_pauli(double t1_us, double t2_us,
+                                    double duration_ns);
+
+/** Compose two single-qubit Pauli channels (convolution of errors). */
+PauliProbs compose(const PauliProbs &a, const PauliProbs &b);
+
+} // namespace elv::noise

@@ -1,0 +1,263 @@
+#include "noise/noise_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/statistics.hpp"
+#include "sim/statevector.hpp"
+
+namespace elv::noise {
+
+std::vector<double>
+apply_readout_confusion(const std::vector<double> &probs,
+                        const std::vector<double> &flip_probs)
+{
+    std::size_t bits = 0;
+    while ((std::size_t{1} << bits) < probs.size())
+        ++bits;
+    ELV_REQUIRE((std::size_t{1} << bits) == probs.size(),
+                "distribution size is not a power of two");
+    ELV_REQUIRE(flip_probs.size() == bits,
+                "one flip probability per outcome bit required");
+
+    std::vector<double> current = probs;
+    std::vector<double> next(probs.size());
+    for (std::size_t b = 0; b < bits; ++b) {
+        const double r = flip_probs[b];
+        ELV_REQUIRE(r >= 0.0 && r <= 0.5, "bad readout error");
+        const std::size_t mask = std::size_t{1} << b;
+        for (std::size_t k = 0; k < current.size(); ++k)
+            next[k] = (1.0 - r) * current[k] + r * current[k ^ mask];
+        std::swap(current, next);
+    }
+    return current;
+}
+
+std::vector<double>
+mitigate_readout(const std::vector<double> &probs,
+                 const std::vector<double> &flip_probs)
+{
+    std::size_t bits = 0;
+    while ((std::size_t{1} << bits) < probs.size())
+        ++bits;
+    ELV_REQUIRE((std::size_t{1} << bits) == probs.size(),
+                "distribution size is not a power of two");
+    ELV_REQUIRE(flip_probs.size() == bits,
+                "one flip probability per outcome bit required");
+
+    std::vector<double> current = probs;
+    std::vector<double> next(probs.size());
+    for (std::size_t b = 0; b < bits; ++b) {
+        const double r = flip_probs[b];
+        if (r >= 0.5)
+            elv::fatal("readout flip probability >= 0.5 is not "
+                       "invertible");
+        // Inverse of [[1-r, r], [r, 1-r]] applied along bit b.
+        const double inv = 1.0 / (1.0 - 2.0 * r);
+        const std::size_t mask = std::size_t{1} << b;
+        for (std::size_t k = 0; k < current.size(); ++k)
+            next[k] = inv * ((1.0 - r) * current[k] -
+                             r * current[k ^ mask]);
+        std::swap(current, next);
+    }
+
+    // Clip inversion artifacts and renormalize.
+    double total = 0.0;
+    for (double &p : current) {
+        p = std::max(p, 0.0);
+        total += p;
+    }
+    if (total > 0.0)
+        for (double &p : current)
+            p /= total;
+    return current;
+}
+
+NoisyDensitySimulator::NoisyDensitySimulator(const dev::Device &device,
+                                             double noise_scale)
+    : device_(device), scale_(noise_scale)
+{
+    ELV_REQUIRE(noise_scale >= 0.0, "negative noise scale");
+}
+
+std::vector<double>
+NoisyDensitySimulator::run_distribution(const circ::Circuit &circuit,
+                                        const std::vector<double> &params,
+                                        const std::vector<double> &x) const
+{
+    ELV_REQUIRE(circuit.num_qubits() <= device_.num_qubits(),
+                "circuit larger than device");
+    std::vector<int> kept;
+    const circ::Circuit local = circuit.compacted(kept);
+
+    sim::DensityMatrix rho(local.num_qubits());
+    auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
+
+    for (const circ::Op &op : local.ops()) {
+        rho.apply_op(op, params, x);
+        if (scale_ == 0.0 || op.kind == circ::GateKind::AmpEmbed)
+            continue;
+        if (op.num_qubits() == 1) {
+            const int lq = op.qubits[0];
+            const int pq = kept[static_cast<std::size_t>(lq)];
+            const double err = clamp01(
+                scale_ *
+                device_.error_1q[static_cast<std::size_t>(pq)]);
+            rho.apply_depolarizing_1q(err, lq);
+            const ThermalParams relax = thermal_relaxation_params(
+                device_.t1_us[static_cast<std::size_t>(pq)] /
+                    std::max(scale_, 1e-9),
+                device_.t2_us[static_cast<std::size_t>(pq)] /
+                    std::max(scale_, 1e-9),
+                device_.duration_1q_ns);
+            rho.apply_thermal_relaxation(relax.gamma, relax.lambda, lq);
+        } else {
+            const int la = op.qubits[0], lb = op.qubits[1];
+            const int pa = kept[static_cast<std::size_t>(la)];
+            const int pb = kept[static_cast<std::size_t>(lb)];
+            if (!device_.topology.has_edge(pa, pb))
+                elv::fatal("2-qubit gate on uncoupled physical qubits " +
+                           std::to_string(pa) + "," + std::to_string(pb) +
+                           "; route the circuit first");
+            const double err = clamp01(scale_ * device_.edge_error(pa, pb));
+            // CRY lowers to two CX on hardware: pay the channel twice.
+            const int reps = op.kind == circ::GateKind::CRY ? 2 : 1;
+            for (int rep = 0; rep < reps; ++rep)
+                rho.apply_depolarizing_2q(err, la, lb);
+            for (int side = 0; side < 2; ++side) {
+                const int lq = side == 0 ? la : lb;
+                const int pq = kept[static_cast<std::size_t>(lq)];
+                const ThermalParams relax = thermal_relaxation_params(
+                    device_.t1_us[static_cast<std::size_t>(pq)] /
+                        std::max(scale_, 1e-9),
+                    device_.t2_us[static_cast<std::size_t>(pq)] /
+                        std::max(scale_, 1e-9),
+                    device_.duration_2q_ns);
+                rho.apply_thermal_relaxation(relax.gamma, relax.lambda,
+                                             lq);
+            }
+        }
+    }
+
+    auto probs = rho.probabilities(local.measured());
+    if (scale_ > 0.0) {
+        std::vector<double> flips;
+        flips.reserve(local.measured().size());
+        for (int lq : local.measured()) {
+            const int pq = kept[static_cast<std::size_t>(lq)];
+            flips.push_back(std::min(
+                0.5, scale_ * device_.readout_error
+                                  [static_cast<std::size_t>(pq)]));
+        }
+        probs = apply_readout_confusion(probs, flips);
+    }
+    return probs;
+}
+
+double
+NoisyDensitySimulator::fidelity(const circ::Circuit &circuit,
+                                const std::vector<double> &params,
+                                const std::vector<double> &x) const
+{
+    std::vector<int> kept;
+    const circ::Circuit local = circuit.compacted(kept);
+    sim::StateVector psi(local.num_qubits());
+    psi.run(local, params, x);
+    const auto ideal = psi.probabilities(local.measured());
+    const auto noisy = run_distribution(circuit, params, x);
+    return 1.0 - elv::total_variation_distance(ideal, noisy);
+}
+
+DevicePauliNoise::DevicePauliNoise(const dev::Device &device,
+                                   std::vector<int> local_to_physical,
+                                   double noise_scale)
+    : device_(device), map_(std::move(local_to_physical)),
+      scale_(noise_scale)
+{
+    for (int pq : map_)
+        ELV_REQUIRE(pq >= 0 && pq < device.num_qubits(),
+                    "physical qubit out of range");
+}
+
+void
+DevicePauliNoise::inject(stab::Tableau &tab, int local_qubit,
+                         const PauliProbs &probs, elv::Rng &rng) const
+{
+    const double u = rng.uniform();
+    if (u < probs.px)
+        tab.x(local_qubit);
+    else if (u < probs.px + probs.py)
+        tab.y(local_qubit);
+    else if (u < probs.px + probs.py + probs.pz)
+        tab.z(local_qubit);
+}
+
+void
+DevicePauliNoise::after_op(stab::Tableau &tab, const circ::Op &op,
+                           elv::Rng &rng) const
+{
+    if (scale_ == 0.0)
+        return;
+    auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
+    if (op.num_qubits() == 1) {
+        const int lq = op.qubits[0];
+        const int pq = map_[static_cast<std::size_t>(lq)];
+        const double err =
+            clamp01(scale_ *
+                    device_.error_1q[static_cast<std::size_t>(pq)]);
+        PauliProbs probs = compose(
+            depolarizing_pauli(err),
+            thermal_relaxation_pauli(
+                device_.t1_us[static_cast<std::size_t>(pq)] /
+                    std::max(scale_, 1e-9),
+                device_.t2_us[static_cast<std::size_t>(pq)] /
+                    std::max(scale_, 1e-9),
+                device_.duration_1q_ns));
+        inject(tab, lq, probs, rng);
+    } else {
+        const int la = op.qubits[0], lb = op.qubits[1];
+        const int pa = map_[static_cast<std::size_t>(la)];
+        const int pb = map_[static_cast<std::size_t>(lb)];
+        if (!device_.topology.has_edge(pa, pb))
+            elv::fatal("2-qubit gate on uncoupled physical qubits; "
+                       "route the circuit first");
+        // Two-qubit depolarizing twirl: with probability err, a uniform
+        // non-identity two-qubit Pauli.
+        const double err = clamp01(scale_ * device_.edge_error(pa, pb));
+        if (rng.uniform() < err) {
+            const std::size_t which = 1 + rng.uniform_index(15);
+            const int a_part = static_cast<int>(which / 4);
+            const int b_part = static_cast<int>(which % 4);
+            if (a_part)
+                tab.pauli(la, a_part == 1 || a_part == 2,
+                          a_part == 2 || a_part == 3);
+            if (b_part)
+                tab.pauli(lb, b_part == 1 || b_part == 2,
+                          b_part == 2 || b_part == 3);
+        }
+        for (int side = 0; side < 2; ++side) {
+            const int lq = side == 0 ? la : lb;
+            const int pq = map_[static_cast<std::size_t>(lq)];
+            inject(tab, lq,
+                   thermal_relaxation_pauli(
+                       device_.t1_us[static_cast<std::size_t>(pq)] /
+                           std::max(scale_, 1e-9),
+                       device_.t2_us[static_cast<std::size_t>(pq)] /
+                           std::max(scale_, 1e-9),
+                       device_.duration_2q_ns),
+                   rng);
+        }
+    }
+}
+
+double
+DevicePauliNoise::readout_flip_probability(int local_qubit) const
+{
+    const int pq = map_[static_cast<std::size_t>(local_qubit)];
+    return std::min(0.5,
+                    scale_ * device_.readout_error
+                                 [static_cast<std::size_t>(pq)]);
+}
+
+} // namespace elv::noise

@@ -1,0 +1,127 @@
+#include "qml/dataset.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace elv::qml {
+
+void
+Dataset::check() const
+{
+    ELV_REQUIRE(samples.size() == labels.size(),
+                "sample/label count mismatch");
+    ELV_REQUIRE(num_classes > 0, "dataset needs at least one class");
+    const std::size_t d = samples.empty() ? 0 : samples.front().size();
+    for (const auto &row : samples)
+        ELV_REQUIRE(row.size() == d, "ragged dataset rows");
+    for (int y : labels)
+        ELV_REQUIRE(y >= 0 && y < num_classes, "label out of range");
+}
+
+void
+shuffle_dataset(Dataset &data, elv::Rng &rng)
+{
+    for (std::size_t i = data.samples.size(); i > 1; --i) {
+        const std::size_t j = rng.uniform_index(i);
+        std::swap(data.samples[i - 1], data.samples[j]);
+        std::swap(data.labels[i - 1], data.labels[j]);
+    }
+}
+
+namespace {
+
+struct FeatureRange
+{
+    std::vector<double> lo, hi;
+};
+
+FeatureRange
+feature_ranges(const Dataset &data)
+{
+    const std::size_t d = static_cast<std::size_t>(data.dim());
+    FeatureRange r;
+    r.lo.assign(d, std::numeric_limits<double>::infinity());
+    r.hi.assign(d, -std::numeric_limits<double>::infinity());
+    for (const auto &row : data.samples) {
+        for (std::size_t f = 0; f < d; ++f) {
+            r.lo[f] = std::min(r.lo[f], row[f]);
+            r.hi[f] = std::max(r.hi[f], row[f]);
+        }
+    }
+    return r;
+}
+
+void
+apply_ranges(Dataset &data, const FeatureRange &r, double lo, double hi)
+{
+    const std::size_t d = static_cast<std::size_t>(data.dim());
+    ELV_REQUIRE(r.lo.size() == d, "normalization dimension mismatch");
+    for (auto &row : data.samples) {
+        for (std::size_t f = 0; f < d; ++f) {
+            const double span = r.hi[f] - r.lo[f];
+            if (span <= 0.0) {
+                row[f] = 0.5 * (lo + hi);
+            } else {
+                const double t =
+                    std::clamp((row[f] - r.lo[f]) / span, 0.0, 1.0);
+                row[f] = lo + t * (hi - lo);
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+normalize_features(Dataset &data, double lo, double hi)
+{
+    if (data.samples.empty())
+        return;
+    apply_ranges(data, feature_ranges(data), lo, hi);
+}
+
+void
+normalize_features_like(Dataset &data, const Dataset &reference, double lo,
+                        double hi)
+{
+    if (data.samples.empty() || reference.samples.empty())
+        return;
+    apply_ranges(data, feature_ranges(reference), lo, hi);
+}
+
+Dataset
+take(const Dataset &data, std::size_t count)
+{
+    Dataset out;
+    out.num_classes = data.num_classes;
+    const std::size_t n = std::min(count, data.samples.size());
+    out.samples.assign(data.samples.begin(),
+                       data.samples.begin() +
+                           static_cast<std::ptrdiff_t>(n));
+    out.labels.assign(data.labels.begin(),
+                      data.labels.begin() +
+                          static_cast<std::ptrdiff_t>(n));
+    return out;
+}
+
+std::vector<std::size_t>
+sample_per_class(const Dataset &data, int per_class, elv::Rng &rng)
+{
+    std::vector<std::size_t> chosen;
+    for (int c = 0; c < data.num_classes; ++c) {
+        std::vector<std::size_t> members;
+        for (std::size_t i = 0; i < data.labels.size(); ++i)
+            if (data.labels[i] == c)
+                members.push_back(i);
+        rng.shuffle(members);
+        const std::size_t n = std::min(
+            members.size(), static_cast<std::size_t>(per_class));
+        chosen.insert(chosen.end(), members.begin(),
+                      members.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    return chosen;
+}
+
+} // namespace elv::qml

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Dataset container and utilities for the QML benchmarks: splits,
+ * shuffling, per-feature normalization (into rotation-angle range) and
+ * per-class subsampling (used by RepCap, which draws d_c samples per
+ * class).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace elv::qml {
+
+/** A labeled classification dataset. */
+struct Dataset
+{
+    /** Feature rows (all the same length). */
+    std::vector<std::vector<double>> samples;
+    /** Class labels in [0, num_classes). */
+    std::vector<int> labels;
+    int num_classes = 0;
+
+    std::size_t size() const { return samples.size(); }
+    int dim() const
+    {
+        return samples.empty() ? 0
+                               : static_cast<int>(samples.front().size());
+    }
+
+    /** Validate invariants (sizes, label range); throws on violation. */
+    void check() const;
+};
+
+/** Shuffle samples and labels together. */
+void shuffle_dataset(Dataset &data, elv::Rng &rng);
+
+/**
+ * Min-max scale every feature into [lo, hi] (computed on this dataset;
+ * constant features map to the interval midpoint).
+ */
+void normalize_features(Dataset &data, double lo, double hi);
+
+/**
+ * Scale `data` using ranges computed from `reference` (apply the train
+ * normalization to the test set).
+ */
+void normalize_features_like(Dataset &data, const Dataset &reference,
+                             double lo, double hi);
+
+/** First `count` rows as a new dataset (after an external shuffle). */
+Dataset take(const Dataset &data, std::size_t count);
+
+/**
+ * Draw `per_class` random sample indices from each class (fewer if a
+ * class is smaller). Returns indices grouped by class label order.
+ */
+std::vector<std::size_t> sample_per_class(const Dataset &data,
+                                          int per_class, elv::Rng &rng);
+
+} // namespace elv::qml

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Trainability diagnostics. The paper's introduction names vanishing
+ * gradients (barren plateaus, McClean et al. — ref [84]) as one of the
+ * practical failure modes of hand-crafted QML circuits; this module
+ * measures the standard diagnostic — the variance of a cost gradient
+ * over random parameter initializations — so users can screen searched
+ * circuits for trainability before spending a training budget.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace elv::qml {
+
+/** Gradient-variance measurement options. */
+struct GradientVarianceOptions
+{
+    /** Random parameter initializations sampled. */
+    int num_samples = 32;
+    /**
+     * Parameter slot whose gradient is tracked (-1 = the first slot,
+     * the McClean et al. convention of fixing one parameter).
+     */
+    int param_index = -1;
+};
+
+/** Gradient-variance result. */
+struct GradientVariance
+{
+    /** Var_theta[ dE/d(theta_k) ] over random initializations. */
+    double variance = 0.0;
+    /** Mean gradient (should hover near 0 for random circuits). */
+    double mean = 0.0;
+    std::uint64_t circuit_executions = 0;
+};
+
+/**
+ * Estimate the gradient variance of <Z_(first measured qubit)> with
+ * respect to one parameter over random initializations, via the adjoint
+ * engine. Inputs (data embeddings) are bound to zeros. Exponentially
+ * small variance in the qubit count is the barren-plateau signature.
+ */
+GradientVariance gradient_variance(const circ::Circuit &circuit,
+                                   elv::Rng &rng,
+                                   const GradientVarianceOptions &options =
+                                       {});
+
+} // namespace elv::qml

@@ -1,0 +1,170 @@
+#include "qml/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace elv::qml {
+
+namespace {
+
+/**
+ * Cyclic Jacobi eigendecomposition of a symmetric matrix (row-major,
+ * n x n). Returns eigenvalues; fills `vectors` with eigenvectors as rows.
+ */
+std::vector<double>
+jacobi_eigen(std::vector<double> a, int n,
+             std::vector<std::vector<double>> &vectors)
+{
+    vectors.assign(static_cast<std::size_t>(n),
+                   std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    for (int i = 0; i < n; ++i)
+        vectors[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] =
+            1.0;
+
+    auto at = [&a, n](int r, int c) -> double & {
+        return a[static_cast<std::size_t>(r) * n +
+                 static_cast<std::size_t>(c)];
+    };
+
+    for (int sweep = 0; sweep < 100; ++sweep) {
+        double off = 0.0;
+        for (int p = 0; p < n; ++p)
+            for (int q = p + 1; q < n; ++q)
+                off += at(p, q) * at(p, q);
+        if (off < 1e-22)
+            break;
+        for (int p = 0; p < n; ++p) {
+            for (int q = p + 1; q < n; ++q) {
+                if (std::abs(at(p, q)) < 1e-15)
+                    continue;
+                const double theta =
+                    (at(q, q) - at(p, p)) / (2.0 * at(p, q));
+                const double t =
+                    (theta >= 0 ? 1.0 : -1.0) /
+                    (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+                for (int k = 0; k < n; ++k) {
+                    const double akp = at(k, p), akq = at(k, q);
+                    at(k, p) = c * akp - s * akq;
+                    at(k, q) = s * akp + c * akq;
+                }
+                for (int k = 0; k < n; ++k) {
+                    const double apk = at(p, k), aqk = at(q, k);
+                    at(p, k) = c * apk - s * aqk;
+                    at(q, k) = s * apk + c * aqk;
+                }
+                for (int k = 0; k < n; ++k) {
+                    auto &v = vectors;
+                    const double vpk =
+                        v[static_cast<std::size_t>(p)]
+                         [static_cast<std::size_t>(k)];
+                    const double vqk =
+                        v[static_cast<std::size_t>(q)]
+                         [static_cast<std::size_t>(k)];
+                    v[static_cast<std::size_t>(p)]
+                     [static_cast<std::size_t>(k)] = c * vpk - s * vqk;
+                    v[static_cast<std::size_t>(q)]
+                     [static_cast<std::size_t>(k)] = s * vpk + c * vqk;
+                }
+            }
+        }
+    }
+
+    std::vector<double> eigenvalues(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        eigenvalues[static_cast<std::size_t>(i)] = at(i, i);
+    return eigenvalues;
+}
+
+} // namespace
+
+Pca::Pca(const std::vector<std::vector<double>> &data, int components)
+{
+    ELV_REQUIRE(!data.empty(), "PCA needs data");
+    const int dim = static_cast<int>(data.front().size());
+    ELV_REQUIRE(components >= 1 && components <= dim,
+                "bad PCA component count");
+
+    mean_.assign(static_cast<std::size_t>(dim), 0.0);
+    for (const auto &row : data)
+        for (int f = 0; f < dim; ++f)
+            mean_[static_cast<std::size_t>(f)] +=
+                row[static_cast<std::size_t>(f)];
+    for (double &m : mean_)
+        m /= static_cast<double>(data.size());
+
+    // Covariance matrix.
+    std::vector<double> cov(static_cast<std::size_t>(dim) *
+                                static_cast<std::size_t>(dim),
+                            0.0);
+    for (const auto &row : data) {
+        for (int i = 0; i < dim; ++i) {
+            const double di = row[static_cast<std::size_t>(i)] -
+                              mean_[static_cast<std::size_t>(i)];
+            for (int j = i; j < dim; ++j) {
+                const double dj = row[static_cast<std::size_t>(j)] -
+                                  mean_[static_cast<std::size_t>(j)];
+                cov[static_cast<std::size_t>(i) * dim +
+                    static_cast<std::size_t>(j)] += di * dj;
+            }
+        }
+    }
+    const double denom = static_cast<double>(
+        data.size() > 1 ? data.size() - 1 : 1);
+    for (int i = 0; i < dim; ++i)
+        for (int j = i; j < dim; ++j) {
+            const double v = cov[static_cast<std::size_t>(i) * dim +
+                                 static_cast<std::size_t>(j)] /
+                             denom;
+            cov[static_cast<std::size_t>(i) * dim +
+                static_cast<std::size_t>(j)] = v;
+            cov[static_cast<std::size_t>(j) * dim +
+                static_cast<std::size_t>(i)] = v;
+        }
+
+    std::vector<std::vector<double>> vectors;
+    std::vector<double> eigenvalues = jacobi_eigen(cov, dim, vectors);
+
+    // Order by descending eigenvalue; keep the top `components`.
+    std::vector<int> order(static_cast<std::size_t>(dim));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&eigenvalues](int a, int b) {
+        return eigenvalues[static_cast<std::size_t>(a)] >
+               eigenvalues[static_cast<std::size_t>(b)];
+    });
+    for (int k = 0; k < components; ++k) {
+        components_.push_back(
+            vectors[static_cast<std::size_t>(order[
+                static_cast<std::size_t>(k)])]);
+        eigenvalues_.push_back(
+            eigenvalues[static_cast<std::size_t>(order[
+                static_cast<std::size_t>(k)])]);
+    }
+}
+
+std::vector<double>
+Pca::transform(const std::vector<double> &x) const
+{
+    ELV_REQUIRE(x.size() == mean_.size(), "PCA dimension mismatch");
+    std::vector<double> out(components_.size(), 0.0);
+    for (std::size_t k = 0; k < components_.size(); ++k)
+        for (std::size_t f = 0; f < x.size(); ++f)
+            out[k] += components_[k][f] * (x[f] - mean_[f]);
+    return out;
+}
+
+std::vector<std::vector<double>>
+Pca::transform(const std::vector<std::vector<double>> &data) const
+{
+    std::vector<std::vector<double>> out;
+    out.reserve(data.size());
+    for (const auto &row : data)
+        out.push_back(transform(row));
+    return out;
+}
+
+} // namespace elv::qml

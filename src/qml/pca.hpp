@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Principal component analysis via Jacobi eigendecomposition of the
+ * covariance matrix. Used to build the Vowel-2/Vowel-4 benchmarks, which
+ * the paper constructs by keeping the 10 most significant PCA
+ * dimensions.
+ */
+#pragma once
+
+#include <vector>
+
+namespace elv::qml {
+
+/** A fitted PCA transform. */
+class Pca
+{
+  public:
+    /**
+     * Fit on row-major data (each inner vector is one sample); keeps the
+     * `components` leading principal directions.
+     */
+    Pca(const std::vector<std::vector<double>> &data, int components);
+
+    /** Project one sample onto the principal components. */
+    std::vector<double> transform(const std::vector<double> &x) const;
+
+    /** Project a whole dataset. */
+    std::vector<std::vector<double>> transform(
+        const std::vector<std::vector<double>> &data) const;
+
+    /** Eigenvalues of the kept components (descending). */
+    const std::vector<double> &explained_variance() const
+    {
+        return eigenvalues_;
+    }
+
+  private:
+    std::vector<double> mean_;
+    /** components_ x dim, row-major. */
+    std::vector<std::vector<double>> components_;
+    std::vector<double> eigenvalues_;
+};
+
+} // namespace elv::qml

@@ -1,0 +1,229 @@
+#include "qml/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "qml/pca.hpp"
+
+namespace elv::qml {
+
+std::vector<BenchmarkSpec>
+benchmark_table()
+{
+    // name, classes, dim, train, test, params, qubits, meas — the first
+    // six columns follow Table 2; qubits/meas are the circuit sizes used
+    // throughout the reproduction.
+    return {
+        {"moons", 2, 2, 600, 120, 16, 4, 1},
+        {"bank", 2, 4, 1100, 120, 20, 4, 1},
+        {"mnist-2", 2, 16, 1600, 400, 20, 4, 1},
+        {"mnist-4", 4, 16, 8000, 2000, 40, 4, 2},
+        {"fmnist-2", 2, 16, 1600, 200, 32, 4, 1},
+        {"fmnist-4", 4, 16, 8000, 2000, 24, 4, 2},
+        {"vowel-2", 2, 10, 600, 120, 32, 4, 1},
+        {"vowel-4", 4, 10, 600, 120, 40, 5, 2},
+        {"mnist-10", 10, 36, 60000, 10000, 72, 6, 4},
+    };
+}
+
+BenchmarkSpec
+benchmark_spec(const std::string &name)
+{
+    for (const auto &spec : benchmark_table())
+        if (spec.name == name)
+            return spec;
+    elv::fatal("unknown benchmark: " + name);
+}
+
+Dataset
+make_moons(int count, double noise, elv::Rng &rng)
+{
+    Dataset data;
+    data.num_classes = 2;
+    for (int i = 0; i < count; ++i) {
+        const int y = i % 2;
+        const double t = M_PI * rng.uniform();
+        double x0, x1;
+        if (y == 0) {
+            x0 = std::cos(t);
+            x1 = std::sin(t);
+        } else {
+            x0 = 1.0 - std::cos(t);
+            x1 = 0.5 - std::sin(t);
+        }
+        data.samples.push_back(
+            {x0 + noise * rng.normal(), x1 + noise * rng.normal()});
+        data.labels.push_back(y);
+    }
+    return data;
+}
+
+Dataset
+make_bank(int count, elv::Rng &rng)
+{
+    // Two partially overlapping 4-D Gaussians with correlated features,
+    // shaped like the Banknote wavelet statistics (balanced classes).
+    Dataset data;
+    data.num_classes = 2;
+    const double means[2][4] = {{2.2, 4.2, -1.0, -0.5},
+                                {-1.8, -0.8, 2.2, -1.2}};
+    for (int i = 0; i < count; ++i) {
+        const int y = i % 2;
+        const double g0 = rng.normal(), g1 = rng.normal();
+        const double g2 = rng.normal(), g3 = rng.normal();
+        // Correlations: feature 1 couples to 0, feature 3 to 2.
+        std::vector<double> x = {
+            means[y][0] + 2.0 * g0,
+            means[y][1] + 1.4 * g1 + 1.2 * g0,
+            means[y][2] + 1.8 * g2,
+            means[y][3] + 0.9 * g3 - 0.8 * g2,
+        };
+        data.samples.push_back(std::move(x));
+        data.labels.push_back(y);
+    }
+    return data;
+}
+
+Dataset
+make_prototype_images(int count, int classes, int side, double noise,
+                      elv::Rng &rng)
+{
+    ELV_REQUIRE(classes >= 2 && side >= 2, "bad prototype image shape");
+    // One smooth prototype per class: a sum of 2-3 Gaussian blobs at
+    // class-specific positions, like heavily downsampled digits.
+    const int dim = side * side;
+    std::vector<std::vector<double>> prototypes;
+    for (int c = 0; c < classes; ++c) {
+        std::vector<double> proto(static_cast<std::size_t>(dim), 0.0);
+        const int blobs = 2 + static_cast<int>(rng.uniform_index(2));
+        for (int b = 0; b < blobs; ++b) {
+            const double cx = rng.uniform(0.0, side - 1.0);
+            const double cy = rng.uniform(0.0, side - 1.0);
+            const double sigma = rng.uniform(0.6, 1.4);
+            for (int i = 0; i < side; ++i) {
+                for (int j = 0; j < side; ++j) {
+                    const double d2 = (i - cy) * (i - cy) +
+                                      (j - cx) * (j - cx);
+                    proto[static_cast<std::size_t>(i * side + j)] +=
+                        std::exp(-d2 / (2.0 * sigma * sigma));
+                }
+            }
+        }
+        prototypes.push_back(std::move(proto));
+    }
+
+    Dataset data;
+    data.num_classes = classes;
+    for (int n = 0; n < count; ++n) {
+        const int y = n % classes;
+        const auto &proto = prototypes[static_cast<std::size_t>(y)];
+        // Sub-pixel jitter: shift by up to one pixel via interpolation
+        // of the rolled image.
+        const int dx = static_cast<int>(rng.uniform_index(3)) - 1;
+        const int dy = static_cast<int>(rng.uniform_index(3)) - 1;
+        std::vector<double> x(static_cast<std::size_t>(dim));
+        for (int i = 0; i < side; ++i) {
+            for (int j = 0; j < side; ++j) {
+                const int si = std::clamp(i + dy, 0, side - 1);
+                const int sj = std::clamp(j + dx, 0, side - 1);
+                x[static_cast<std::size_t>(i * side + j)] =
+                    proto[static_cast<std::size_t>(si * side + sj)] +
+                    noise * rng.normal();
+            }
+        }
+        data.samples.push_back(std::move(x));
+        data.labels.push_back(y);
+    }
+    return data;
+}
+
+Dataset
+make_vowel(int count, int classes, elv::Rng &rng)
+{
+    // Anisotropic Gaussian clusters in 14 dimensions, reduced to the 10
+    // most significant PCA dimensions (mirroring the paper's pipeline).
+    const int raw_dim = 14;
+    const int kept = 10;
+    std::vector<std::vector<double>> means;
+    std::vector<std::vector<double>> scales;
+    for (int c = 0; c < classes; ++c) {
+        std::vector<double> mu(static_cast<std::size_t>(raw_dim));
+        std::vector<double> sc(static_cast<std::size_t>(raw_dim));
+        for (int f = 0; f < raw_dim; ++f) {
+            mu[static_cast<std::size_t>(f)] = rng.uniform(-2.0, 2.0);
+            sc[static_cast<std::size_t>(f)] = rng.uniform(0.3, 1.1);
+        }
+        means.push_back(std::move(mu));
+        scales.push_back(std::move(sc));
+    }
+
+    std::vector<std::vector<double>> raw;
+    std::vector<int> labels;
+    for (int n = 0; n < count; ++n) {
+        const int y = n % classes;
+        std::vector<double> x(static_cast<std::size_t>(raw_dim));
+        for (int f = 0; f < raw_dim; ++f)
+            x[static_cast<std::size_t>(f)] =
+                means[static_cast<std::size_t>(y)]
+                     [static_cast<std::size_t>(f)] +
+                scales[static_cast<std::size_t>(y)]
+                      [static_cast<std::size_t>(f)] *
+                    rng.normal();
+        raw.push_back(std::move(x));
+        labels.push_back(y);
+    }
+
+    const Pca pca(raw, kept);
+    Dataset data;
+    data.num_classes = classes;
+    data.samples = pca.transform(raw);
+    data.labels = std::move(labels);
+    return data;
+}
+
+Benchmark
+make_benchmark(const std::string &name, std::uint64_t seed, double scale)
+{
+    ELV_REQUIRE(scale > 0.0 && scale <= 1.0, "bad benchmark scale");
+    const BenchmarkSpec spec = benchmark_spec(name);
+    const int train_n = std::max(
+        spec.classes * 4,
+        static_cast<int>(std::lround(spec.train * scale)));
+    const int test_n = std::max(
+        spec.classes * 4,
+        static_cast<int>(std::lround(spec.test * scale)));
+
+    elv::Rng rng(seed ^ 0xe11a6a9000ULL);
+    const int total = train_n + test_n;
+    Dataset all;
+    if (name == "moons") {
+        all = make_moons(total, 0.15, rng);
+    } else if (name == "bank") {
+        all = make_bank(total, rng);
+    } else if (name == "vowel-2" || name == "vowel-4") {
+        all = make_vowel(total, spec.classes, rng);
+    } else {
+        const int side = spec.dim == 36 ? 6 : 4;
+        all = make_prototype_images(total, spec.classes, side, 0.18, rng);
+    }
+    all.check();
+    shuffle_dataset(all, rng);
+
+    Benchmark bench;
+    bench.spec = spec;
+    bench.train = take(all, static_cast<std::size_t>(train_n));
+    Dataset rest;
+    rest.num_classes = all.num_classes;
+    rest.samples.assign(all.samples.begin() + train_n, all.samples.end());
+    rest.labels.assign(all.labels.begin() + train_n, all.labels.end());
+    bench.test = rest;
+
+    // Normalize into rotation-angle range using train statistics.
+    const Dataset train_copy = bench.train;
+    normalize_features(bench.train, -M_PI / 2, M_PI / 2);
+    normalize_features_like(bench.test, train_copy, -M_PI / 2, M_PI / 2);
+    return bench;
+}
+
+} // namespace elv::qml

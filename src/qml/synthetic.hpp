@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synthetic generators for the 9 QML benchmarks of Table 2.
+ *
+ * The originals (MNIST, FMNIST, UCI Banknote, Vowel) are not
+ * redistributable inside this repository, so each benchmark is replaced
+ * by a synthetic dataset with the same number of classes, feature
+ * dimensionality, and train/test sizes, and with the intra-class
+ * clustering / inter-class separation structure that drives both
+ * training and RepCap (see DESIGN.md, "Substitutions"):
+ *
+ *  - Moons: the classic two-interleaved-half-circles construction
+ *    (identical to scikit-learn's make_moons).
+ *  - Bank: 4-D two-class data with correlated features, mimicking the
+ *    Banknote wavelet statistics.
+ *  - MNIST-k / FMNIST-k: per-class smooth image prototypes on the same
+ *    4x4 (or 6x6 for MNIST-10) grids the paper mean-pools to, plus pixel
+ *    noise and sub-pixel jitter.
+ *  - Vowel-2/4: anisotropic Gaussian class clusters in a higher
+ *    dimension reduced to 10 features with this repo's own PCA.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qml/dataset.hpp"
+
+namespace elv::qml {
+
+/** Table 2 row: benchmark shape plus circuit-size configuration. */
+struct BenchmarkSpec
+{
+    std::string name;
+    int classes = 2;
+    int dim = 2;
+    int train = 0;
+    int test = 0;
+    /** Parameter budget of searched circuits (Table 2 "Params"). */
+    int params = 0;
+    /** Qubits used by searched circuits for this task. */
+    int qubits = 4;
+    /** Measured qubits (enough for `classes` outcome groups). */
+    int meas = 1;
+};
+
+/** A generated train/test pair. */
+struct Benchmark
+{
+    BenchmarkSpec spec;
+    Dataset train;
+    Dataset test;
+};
+
+/** The 9 benchmark specs of Table 2, in the paper's order. */
+std::vector<BenchmarkSpec> benchmark_table();
+
+/** Look up one spec by name (fatal on unknown name). */
+BenchmarkSpec benchmark_spec(const std::string &name);
+
+/**
+ * Generate a benchmark. `scale` in (0, 1] shrinks the train/test sizes
+ * proportionally (the benches use scaled-down sizes to stay fast);
+ * features are normalized into [-pi/2, pi/2] using train-set ranges.
+ */
+Benchmark make_benchmark(const std::string &name, std::uint64_t seed,
+                         double scale = 1.0);
+
+/** @name Raw generators (sizes chosen by the caller) @{ */
+Dataset make_moons(int count, double noise, elv::Rng &rng);
+Dataset make_bank(int count, elv::Rng &rng);
+Dataset make_prototype_images(int count, int classes, int side,
+                              double noise, elv::Rng &rng);
+Dataset make_vowel(int count, int classes, elv::Rng &rng);
+/** @} */
+
+} // namespace elv::qml

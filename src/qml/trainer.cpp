@@ -1,0 +1,173 @@
+#include "qml/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "qml/optimizer.hpp"
+#include "sim/gradients.hpp"
+#include "sim/observable.hpp"
+
+namespace elv::qml {
+
+namespace {
+
+/**
+ * Parameter-shift gradient of one diagonal observable, evaluating every
+ * circuit through an arbitrary distribution provider (e.g. the noisy
+ * device simulator). Exact two-term rule; CRY rejected.
+ */
+sim::GradientResult
+provider_shift_gradient(const circ::Circuit &circuit,
+                        const std::vector<double> &params,
+                        const std::vector<double> &x,
+                        const sim::DiagonalObservable &obs,
+                        const DistributionFn &provider)
+{
+    sim::GradientResult result;
+    result.values = {obs.expectation(provider(circuit, params, x))};
+    result.circuit_executions = 1;
+    result.jacobian.assign(
+        1, std::vector<double>(static_cast<std::size_t>(
+                                   circuit.num_params()),
+                               0.0));
+
+    for (const circ::Op &op : circuit.ops()) {
+        if (op.role != circ::ParamRole::Variational)
+            continue;
+        ELV_REQUIRE(op.kind != circ::GateKind::CRY,
+                    "CRY unsupported with a distribution provider");
+        for (int slot = 0; slot < op.num_params(); ++slot) {
+            const std::size_t pi =
+                static_cast<std::size_t>(op.param_index + slot);
+            std::vector<double> shifted = params;
+            shifted[pi] += M_PI / 2;
+            const double plus =
+                obs.expectation(provider(circuit, shifted, x));
+            shifted[pi] -= M_PI;
+            const double minus =
+                obs.expectation(provider(circuit, shifted, x));
+            result.circuit_executions += 2;
+            result.jacobian[0][pi] = 0.5 * (plus - minus);
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+TrainResult
+train_circuit(const circ::Circuit &circuit, const Dataset &data,
+              const TrainConfig &config)
+{
+    data.check();
+    ELV_REQUIRE(!circuit.measured().empty(), "circuit measures nothing");
+    ELV_REQUIRE((std::size_t{1} << circuit.measured().size()) >=
+                    static_cast<std::size_t>(data.num_classes),
+                "not enough measured qubits for the class count");
+
+    // Work on the compacted circuit (Elivagar circuits live on large
+    // devices); parameters are unaffected by compaction.
+    std::vector<int> kept;
+    const circ::Circuit local = circuit.compacted(kept);
+
+    elv::Rng rng(config.seed ^ 0x7261696eULL);
+    TrainResult result;
+    result.params.resize(static_cast<std::size_t>(local.num_params()));
+    for (auto &p : result.params)
+        p = rng.uniform(-M_PI, M_PI);
+    if (result.params.empty()) {
+        result.loss_history.assign(
+            static_cast<std::size_t>(config.epochs), 0.0);
+        return result;
+    }
+
+    Adam optimizer(result.params.size(), config.learning_rate);
+    const auto projectors =
+        sim::class_projectors(local.measured(), data.num_classes);
+
+    std::vector<std::size_t> order(data.samples.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+        rng.shuffle(order);
+        double epoch_loss = 0.0;
+        std::size_t seen = 0;
+        int batches = 0;
+
+        std::size_t cursor = 0;
+        while (cursor < order.size()) {
+            const std::size_t batch_end =
+                std::min(order.size(),
+                         cursor +
+                             static_cast<std::size_t>(config.batch_size));
+            std::vector<double> grad(result.params.size(), 0.0);
+
+            for (std::size_t bi = cursor; bi < batch_end; ++bi) {
+                const std::size_t idx = order[bi];
+                const auto &x = data.samples[idx];
+                const int y = data.labels[idx];
+
+                // Only the label-class projector feeds the loss
+                // gradient: dL/dtheta = -(1/p_y) dp_y/dtheta.
+                const std::vector<sim::DiagonalObservable> obs = {
+                    projectors[static_cast<std::size_t>(y)]};
+                sim::GradientResult g;
+                if (config.distribution) {
+                    ELV_REQUIRE(config.backend ==
+                                    GradientBackend::ParameterShift,
+                                "a custom distribution provider needs "
+                                "the parameter-shift backend");
+                    // Pass the ORIGINAL circuit: providers interpret
+                    // qubit labels as physical device qubits, which
+                    // compaction would strip. Parameter slots and the
+                    // measured-qubit order are compaction-invariant.
+                    g = provider_shift_gradient(circuit, result.params,
+                                                x, obs[0],
+                                                config.distribution);
+                } else if (config.backend == GradientBackend::Adjoint) {
+                    g = sim::adjoint_gradient(local, result.params, x,
+                                              obs);
+                } else {
+                    g = sim::parameter_shift_gradient(local,
+                                                      result.params, x,
+                                                      obs);
+                }
+                result.circuit_executions += g.circuit_executions;
+
+                const double p_y = std::max(g.values[0], 1e-10);
+                epoch_loss += -std::log(p_y);
+                ++seen;
+                const double coeff =
+                    -1.0 / (p_y * static_cast<double>(batch_end - cursor));
+                for (std::size_t pi = 0; pi < grad.size(); ++pi)
+                    grad[pi] += coeff * g.jacobian[0][pi];
+            }
+
+            optimizer.step(result.params, grad);
+            cursor = batch_end;
+            ++batches;
+            if (config.max_batches_per_epoch > 0 &&
+                batches >= config.max_batches_per_epoch)
+                break;
+        }
+        result.loss_history.push_back(
+            seen > 0 ? epoch_loss / static_cast<double>(seen) : 0.0);
+    }
+    return result;
+}
+
+std::uint64_t
+parameter_shift_execution_count(int num_params, int epochs,
+                                int batches_per_epoch, int batch_size)
+{
+    const std::uint64_t per_sample =
+        1 + 2 * static_cast<std::uint64_t>(num_params);
+    return per_sample * static_cast<std::uint64_t>(epochs) *
+           static_cast<std::uint64_t>(batches_per_epoch) *
+           static_cast<std::uint64_t>(batch_size);
+}
+
+} // namespace elv::qml

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Dense density-matrix simulator.
+ *
+ * Represents rho as a 2n-qubit state vector (row index = qubits 0..n-1,
+ * column index = qubits n..2n-1), so unitary and Kraus maps reuse the
+ * state-vector kernels: U rho U^dag applies U on the row qubit and
+ * conj(U) on the matching column qubit. Exact noisy simulation for
+ * circuits of up to ~10 qubits — which covers every circuit in this
+ * reproduction, because Elivagar circuits live on small connected device
+ * subgraphs.
+ */
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sim/statevector.hpp"
+
+namespace elv::sim {
+
+/** A mixed quantum state over a fixed qubit register. */
+class DensityMatrix
+{
+  public:
+    /** Construct in |0...0><0...0|. Practical limit is ~12 qubits. */
+    explicit DensityMatrix(int num_qubits);
+
+    /** Reset to |0...0><0...0|. */
+    void reset();
+
+    int num_qubits() const { return num_qubits_; }
+
+    /** rho(r, c) element access. */
+    Amp element(std::size_t row, std::size_t col) const;
+
+    /** Set to the pure state |psi><psi|. */
+    void set_pure(const StateVector &psi);
+
+    /** Apply a 1-qubit unitary. */
+    void apply_1q(const Mat2 &u, int q);
+
+    /** Apply a 2-qubit unitary (basis |q0 q1>). */
+    void apply_2q(const Mat4 &u, int q0, int q1);
+
+    /** Apply a 1-qubit Kraus channel: rho -> sum_k K rho K^dag. */
+    void apply_kraus_1q(const std::vector<Mat2> &kraus, int q);
+
+    /** Apply a 2-qubit Kraus channel. */
+    void apply_kraus_2q(const std::vector<Mat4> &kraus, int q0, int q1);
+
+    /** @name Closed-form channel fast paths @{
+     *
+     * Semantically identical to the Kraus forms but a single pass over
+     * rho (the generic Kraus route copies the full state per operator);
+     * these dominate noisy-simulation time for the bench harnesses.
+     */
+
+    /** Depolarizing on one qubit: rho -> (1-p) rho + p sum_P P rho P /3. */
+    void apply_depolarizing_1q(double p, int q);
+
+    /** Depolarizing on a qubit pair (15 Pauli terms). */
+    void apply_depolarizing_2q(double p, int q0, int q1);
+
+    /**
+     * Thermal relaxation: amplitude damping with probability `gamma`
+     * composed with pure dephasing `lambda` on qubit q.
+     */
+    void apply_thermal_relaxation(double gamma, double lambda, int q);
+
+    /** @} */
+
+    /** Apply one IR op with resolved parameters (no noise). */
+    void apply_op(const circ::Op &op, const std::vector<double> &params,
+                  const std::vector<double> &x);
+
+    /** Run a circuit noiselessly from |0...0>. */
+    void run(const circ::Circuit &circuit,
+             const std::vector<double> &params = {},
+             const std::vector<double> &x = {});
+
+    /** Trace (should stay 1 under trace-preserving maps). */
+    double trace() const;
+
+    /** Purity Tr(rho^2). */
+    double purity() const;
+
+    /** Marginal outcome distribution over `qubits` (LSB-first order). */
+    std::vector<double> probabilities(const std::vector<int> &qubits) const;
+
+  private:
+    int num_qubits_;
+    /** 2n-qubit vectorized representation of rho. */
+    StateVector vec_;
+};
+
+} // namespace elv::sim

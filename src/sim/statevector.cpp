@@ -1,0 +1,187 @@
+#include "sim/statevector.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace elv::sim {
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits)
+{
+    ELV_REQUIRE(num_qubits >= 1 && num_qubits <= 26,
+                "state vector limited to 1..26 qubits");
+    amps_.assign(std::size_t{1} << num_qubits, Amp(0));
+    amps_[0] = Amp(1);
+}
+
+void
+StateVector::reset()
+{
+    std::fill(amps_.begin(), amps_.end(), Amp(0));
+    amps_[0] = Amp(1);
+}
+
+void
+StateVector::apply_1q(const Mat2 &u, int q)
+{
+    ELV_REQUIRE(q >= 0 && q < num_qubits_, "qubit out of range");
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t dim = amps_.size();
+    for (std::size_t base = 0; base < dim; base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; ++off) {
+            const std::size_t i0 = base + off;
+            const std::size_t i1 = i0 + stride;
+            const Amp a0 = amps_[i0];
+            const Amp a1 = amps_[i1];
+            amps_[i0] = u[0][0] * a0 + u[0][1] * a1;
+            amps_[i1] = u[1][0] * a0 + u[1][1] * a1;
+        }
+    }
+}
+
+void
+StateVector::apply_2q(const Mat4 &u, int q0, int q1)
+{
+    ELV_REQUIRE(q0 >= 0 && q0 < num_qubits_ && q1 >= 0 &&
+                    q1 < num_qubits_ && q0 != q1,
+                "bad 2-qubit operands");
+    const std::size_t m0 = std::size_t{1} << q0;
+    const std::size_t m1 = std::size_t{1} << q1;
+    const std::size_t dim = amps_.size();
+    for (std::size_t i = 0; i < dim; ++i) {
+        if ((i & m0) || (i & m1))
+            continue;
+        // Local basis |q0 q1>: index = 2 * bit(q0) + bit(q1).
+        const std::size_t idx[4] = {i, i | m1, i | m0, i | m0 | m1};
+        Amp in[4];
+        for (int k = 0; k < 4; ++k)
+            in[k] = amps_[idx[k]];
+        for (int r = 0; r < 4; ++r) {
+            Amp acc(0);
+            for (int c = 0; c < 4; ++c)
+                acc += u[r][c] * in[c];
+            amps_[idx[r]] = acc;
+        }
+    }
+}
+
+void
+StateVector::apply_op(const circ::Op &op, const std::vector<double> &params,
+                      const std::vector<double> &x)
+{
+    if (op.kind == circ::GateKind::AmpEmbed) {
+        set_amplitude_embedding(x);
+        return;
+    }
+    const auto angles = circ::op_angles(op, params, x);
+    if (op.num_qubits() == 1)
+        apply_1q(gate_matrix_1q(op.kind, angles), op.qubits[0]);
+    else
+        apply_2q(gate_matrix_2q(op.kind, angles), op.qubits[0],
+                 op.qubits[1]);
+}
+
+void
+StateVector::run(const circ::Circuit &circuit,
+                 const std::vector<double> &params,
+                 const std::vector<double> &x)
+{
+    ELV_REQUIRE(circuit.num_qubits() == num_qubits_,
+                "circuit/state qubit count mismatch");
+    reset();
+    for (const circ::Op &op : circuit.ops())
+        apply_op(op, params, x);
+}
+
+void
+StateVector::set_amplitude_embedding(const std::vector<double> &x)
+{
+    ELV_REQUIRE(x.size() <= amps_.size(),
+                "amplitude embedding input larger than state");
+    double ss = 0.0;
+    for (double v : x)
+        ss += v * v;
+    std::fill(amps_.begin(), amps_.end(), Amp(0));
+    if (ss <= 0.0) {
+        amps_[0] = Amp(1);
+        return;
+    }
+    const double inv = 1.0 / std::sqrt(ss);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        amps_[i] = Amp(x[i] * inv);
+}
+
+double
+StateVector::expect_z(int q) const
+{
+    ELV_REQUIRE(q >= 0 && q < num_qubits_, "qubit out of range");
+    const std::size_t mask = std::size_t{1} << q;
+    double e = 0.0;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        const double p = std::norm(amps_[i]);
+        e += (i & mask) ? -p : p;
+    }
+    return e;
+}
+
+double
+StateVector::norm() const
+{
+    double s = 0.0;
+    for (const Amp &a : amps_)
+        s += std::norm(a);
+    return s;
+}
+
+double
+StateVector::overlap(const StateVector &other) const
+{
+    ELV_REQUIRE(other.amps_.size() == amps_.size(),
+                "overlap dimension mismatch");
+    Amp acc(0);
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        acc += std::conj(other.amps_[i]) * amps_[i];
+    return std::norm(acc);
+}
+
+std::vector<double>
+StateVector::probabilities(const std::vector<int> &qubits) const
+{
+    ELV_REQUIRE(qubits.size() <= 20, "too many measured qubits");
+    std::vector<double> probs(std::size_t{1} << qubits.size(), 0.0);
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        const double p = std::norm(amps_[i]);
+        if (p == 0.0)
+            continue;
+        std::size_t outcome = 0;
+        for (std::size_t b = 0; b < qubits.size(); ++b)
+            if (i & (std::size_t{1} << qubits[b]))
+                outcome |= std::size_t{1} << b;
+        probs[outcome] += p;
+    }
+    return probs;
+}
+
+std::vector<double>
+StateVector::probabilities_full() const
+{
+    std::vector<double> probs(amps_.size());
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        probs[i] = std::norm(amps_[i]);
+    return probs;
+}
+
+std::size_t
+StateVector::sample(const std::vector<int> &qubits, elv::Rng &rng) const
+{
+    const auto probs = probabilities(qubits);
+    double x = rng.uniform();
+    for (std::size_t k = 0; k < probs.size(); ++k) {
+        x -= probs[k];
+        if (x < 0.0)
+            return k;
+    }
+    return probs.size() - 1;
+}
+
+} // namespace elv::sim

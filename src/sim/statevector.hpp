@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Dense state-vector simulator.
+ *
+ * Qubit q corresponds to bit q of the basis-state index (qubit 0 is the
+ * least significant bit). Used for all noiseless evaluation: training,
+ * RepCap, ideal Clifford-replica outputs and ground-truth checks.
+ */
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "sim/unitaries.hpp"
+
+namespace elv::sim {
+
+/** A pure quantum state over a fixed qubit register. */
+class StateVector
+{
+  public:
+    /** Construct in |0...0>. Practical limit is ~24 qubits. */
+    explicit StateVector(int num_qubits);
+
+    /** Reset to |0...0>. */
+    void reset();
+
+    int num_qubits() const { return num_qubits_; }
+    std::size_t dim() const { return amps_.size(); }
+
+    /** Raw amplitude access (basis-state index). */
+    Amp amp(std::size_t index) const { return amps_[index]; }
+    std::vector<Amp> &amps() { return amps_; }
+    const std::vector<Amp> &amps() const { return amps_; }
+
+    /** Apply a 1-qubit unitary to qubit q. */
+    void apply_1q(const Mat2 &u, int q);
+
+    /** Apply a 2-qubit unitary (basis |q0 q1>, see unitaries.hpp). */
+    void apply_2q(const Mat4 &u, int q0, int q1);
+
+    /** Apply one IR operation with resolved parameters. */
+    void apply_op(const circ::Op &op, const std::vector<double> &params,
+                  const std::vector<double> &x);
+
+    /**
+     * Run a circuit from |0...0>: resets, then applies every op.
+     * `params` are the variational parameters, `x` the input sample.
+     */
+    void run(const circ::Circuit &circuit,
+             const std::vector<double> &params = {},
+             const std::vector<double> &x = {});
+
+    /**
+     * Set the state to the amplitude embedding of `x`: the vector is
+     * zero-padded to the state dimension and normalized (an all-zero
+     * input maps to |0...0>).
+     */
+    void set_amplitude_embedding(const std::vector<double> &x);
+
+    /** <Z_q> expectation. */
+    double expect_z(int q) const;
+
+    /** Squared norm (should stay 1 under unitary evolution). */
+    double norm() const;
+
+    /** |<other|this>|^2 overlap with another state of equal size. */
+    double overlap(const StateVector &other) const;
+
+    /**
+     * Marginal outcome distribution over `qubits`: entry k is the
+     * probability that qubits[i] reads bit i of k (LSB first).
+     */
+    std::vector<double> probabilities(const std::vector<int> &qubits) const;
+
+    /** Full 2^n outcome distribution. */
+    std::vector<double> probabilities_full() const;
+
+    /** Sample one outcome over `qubits` from the Born distribution. */
+    std::size_t sample(const std::vector<int> &qubits, elv::Rng &rng) const;
+
+  private:
+    int num_qubits_;
+    std::vector<Amp> amps_;
+};
+
+} // namespace elv::sim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Dense gate unitaries and their parameter derivatives.
+ *
+ * Conventions: 2-qubit matrices are written in the basis |q0 q1> where q0
+ * is the first listed qubit of the op (the control for CX/CRY), i.e.
+ * local index = 2 * bit(q0) + bit(q1).
+ */
+#pragma once
+
+#include <array>
+#include <complex>
+
+#include "circuit/gate.hpp"
+
+namespace elv::sim {
+
+using Amp = std::complex<double>;
+using Mat2 = std::array<std::array<Amp, 2>, 2>;
+using Mat4 = std::array<std::array<Amp, 4>, 4>;
+
+/** Unitary of a 1-qubit gate given its (up to 3) resolved angles. */
+Mat2 gate_matrix_1q(circ::GateKind kind,
+                    const std::array<double, 3> &angles);
+
+/** Unitary of a 2-qubit gate given its resolved angles. */
+Mat4 gate_matrix_2q(circ::GateKind kind,
+                    const std::array<double, 3> &angles);
+
+/** dU/d(angle[slot]) for a parametric 1-qubit gate. */
+Mat2 gate_matrix_1q_deriv(circ::GateKind kind,
+                          const std::array<double, 3> &angles, int slot);
+
+/** dU/d(angle[slot]) for a parametric 2-qubit gate (CRY). */
+Mat4 gate_matrix_2q_deriv(circ::GateKind kind,
+                          const std::array<double, 3> &angles, int slot);
+
+/** Conjugate transpose. */
+Mat2 dagger(const Mat2 &m);
+Mat4 dagger(const Mat4 &m);
+
+/** Entrywise complex conjugate. */
+Mat2 conjugate(const Mat2 &m);
+Mat4 conjugate(const Mat4 &m);
+
+/** Matrix product a * b. */
+Mat2 matmul(const Mat2 &a, const Mat2 &b);
+Mat4 matmul(const Mat4 &a, const Mat4 &b);
+
+/** Identity matrices. */
+Mat2 identity2();
+Mat4 identity4();
+
+} // namespace elv::sim

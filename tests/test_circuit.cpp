@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit tests for the circuit IR: construction, parameter indexing,
+ * embedding designation, metrics (depth, gate counts), remapping, and
+ * the standard template builders.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/builders.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/clifford_replica.hpp"
+#include "common/logging.hpp"
+
+namespace {
+
+using namespace elv::circ;
+
+TEST(Gate, Metadata)
+{
+    EXPECT_EQ(gate_num_qubits(GateKind::RX), 1);
+    EXPECT_EQ(gate_num_qubits(GateKind::CX), 2);
+    EXPECT_EQ(gate_num_params(GateKind::U3), 3);
+    EXPECT_EQ(gate_num_params(GateKind::H), 0);
+    EXPECT_TRUE(gate_is_clifford(GateKind::CZ));
+    EXPECT_FALSE(gate_is_clifford(GateKind::RX));
+    EXPECT_TRUE(gate_is_parametric(GateKind::CRY));
+    EXPECT_EQ(gate_name(GateKind::Sdg), "Sdg");
+}
+
+TEST(Circuit, ParameterIndexingIsSequential)
+{
+    Circuit c(2);
+    c.add_variational(GateKind::RX, {0});
+    c.add_variational(GateKind::U3, {1});
+    c.add_variational(GateKind::RZ, {0});
+    EXPECT_EQ(c.num_params(), 5);
+    EXPECT_EQ(c.ops()[0].param_index, 0);
+    EXPECT_EQ(c.ops()[1].param_index, 1);
+    EXPECT_EQ(c.ops()[2].param_index, 4);
+}
+
+TEST(Circuit, DesignateEmbeddingReindexesParams)
+{
+    Circuit c(2);
+    c.add_variational(GateKind::RX, {0});
+    c.add_variational(GateKind::RY, {1});
+    c.add_variational(GateKind::RZ, {0});
+    c.designate_embedding(1, 3);
+    EXPECT_EQ(c.num_params(), 2);
+    EXPECT_EQ(c.ops()[0].param_index, 0);
+    EXPECT_EQ(c.ops()[1].role, ParamRole::Embedding);
+    EXPECT_EQ(c.ops()[1].data_index, 3);
+    EXPECT_EQ(c.ops()[2].param_index, 1);
+    EXPECT_EQ(c.num_data_features(), 4);
+}
+
+TEST(Circuit, OpAngleResolution)
+{
+    Circuit c(2);
+    c.add_variational(GateKind::RX, {0});
+    c.add_embedding(GateKind::RZ, {1}, 0);
+    c.add_embedding(GateKind::RZ, {1}, 0, 1); // product embedding
+
+    const std::vector<double> params = {0.7};
+    const std::vector<double> x = {0.3, 2.0};
+
+    EXPECT_DOUBLE_EQ(op_angles(c.ops()[0], params, x)[0], 0.7);
+    EXPECT_DOUBLE_EQ(op_angles(c.ops()[1], params, x)[0], 0.3);
+    EXPECT_DOUBLE_EQ(op_angles(c.ops()[2], params, x)[0], 0.6);
+}
+
+TEST(Circuit, DepthAndCounts)
+{
+    Circuit c(3);
+    c.add_gate(GateKind::H, {0});
+    c.add_gate(GateKind::H, {1});
+    c.add_gate(GateKind::CX, {0, 1});
+    c.add_gate(GateKind::CX, {1, 2});
+    c.add_variational(GateKind::RX, {2});
+    EXPECT_EQ(c.depth(), 4);
+    EXPECT_EQ(c.count_1q(), 3);
+    EXPECT_EQ(c.count_2q(), 2);
+    EXPECT_EQ(c.count_kind(GateKind::CX), 2);
+}
+
+TEST(Circuit, TouchedQubitsIncludesMeasurements)
+{
+    Circuit c(5);
+    c.add_gate(GateKind::H, {1});
+    c.set_measured({3});
+    const auto touched = c.touched_qubits();
+    ASSERT_EQ(touched.size(), 2u);
+    EXPECT_EQ(touched[0], 1);
+    EXPECT_EQ(touched[1], 3);
+}
+
+TEST(Circuit, RemappedRelabelsQubits)
+{
+    Circuit c(2);
+    c.add_gate(GateKind::CX, {0, 1});
+    c.set_measured({1});
+    const Circuit r = c.remapped({4, 2}, 5);
+    EXPECT_EQ(r.num_qubits(), 5);
+    EXPECT_EQ(r.ops()[0].qubits[0], 4);
+    EXPECT_EQ(r.ops()[0].qubits[1], 2);
+    EXPECT_EQ(r.measured()[0], 2);
+}
+
+TEST(Circuit, CompactedReducesToTouchedQubits)
+{
+    Circuit c(6);
+    c.add_gate(GateKind::CX, {2, 5});
+    c.set_measured({5});
+    std::vector<int> kept;
+    const Circuit small = c.compacted(kept);
+    EXPECT_EQ(small.num_qubits(), 2);
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_EQ(kept[0], 2);
+    EXPECT_EQ(kept[1], 5);
+    EXPECT_EQ(small.ops()[0].qubits[0], 0);
+    EXPECT_EQ(small.ops()[0].qubits[1], 1);
+    EXPECT_EQ(small.measured()[0], 1);
+}
+
+TEST(Circuit, RejectsBadConstruction)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.add_gate(GateKind::CX, {0, 0}), elv::InternalError);
+    EXPECT_THROW(c.add_gate(GateKind::H, {5}), elv::InternalError);
+    EXPECT_THROW(c.add_gate(GateKind::RX, {0}), elv::InternalError);
+    EXPECT_THROW(c.set_measured({0, 0}), elv::InternalError);
+}
+
+TEST(Builders, AngleEmbeddingReuploadsExtraFeatures)
+{
+    Circuit c(3);
+    append_angle_embedding(c, 7);
+    EXPECT_EQ(c.num_embedding_gates(), 7);
+    EXPECT_EQ(c.num_data_features(), 7);
+    EXPECT_EQ(c.ops()[3].qubits[0], 0); // feature 3 re-uploaded on qubit 0
+}
+
+TEST(Builders, IqpEmbeddingHasProductTerms)
+{
+    Circuit c(4);
+    append_iqp_embedding(c, 4);
+    int products = 0;
+    for (const Op &op : c.ops())
+        if (op.role == ParamRole::Embedding && op.data_index2 >= 0)
+            ++products;
+    EXPECT_EQ(products, 3);
+    EXPECT_EQ(c.count_kind(GateKind::H), 4);
+}
+
+TEST(Builders, BasicEntanglerParamsPerLayer)
+{
+    Circuit c(4);
+    append_basic_entangler_layers(c, 3);
+    EXPECT_EQ(c.num_params(), 12);
+    EXPECT_EQ(c.count_kind(GateKind::CX), 12);
+}
+
+TEST(Builders, HumanDesignedReachesParamBudget)
+{
+    const Circuit c = build_human_designed(4, 8, 20, 2,
+                                           EmbeddingScheme::Angle);
+    EXPECT_GE(c.num_params(), 20);
+    EXPECT_EQ(c.measured().size(), 2u);
+}
+
+TEST(Builders, AmplitudeSchemeEmitsPseudoOp)
+{
+    const Circuit c = build_human_designed(4, 16, 8, 1,
+                                           EmbeddingScheme::Amplitude);
+    EXPECT_TRUE(c.has_amplitude_embedding());
+}
+
+TEST(Builders, RandomRxyzCzMeetsParamCount)
+{
+    elv::Rng rng(123);
+    const Circuit c = build_random_rxyz_cz(4, 4, 20, 2, rng);
+    EXPECT_EQ(c.num_params(), 20);
+    EXPECT_EQ(c.measured().size(), 2u);
+    // Only RX/RY/RZ/CZ plus the angle embedding should appear.
+    for (const Op &op : c.ops()) {
+        const bool ok = op.kind == GateKind::RX ||
+                        op.kind == GateKind::RY ||
+                        op.kind == GateKind::RZ || op.kind == GateKind::CZ;
+        EXPECT_TRUE(ok) << gate_name(op.kind);
+    }
+}
+
+TEST(CliffordReplica, ReplicaIsClifford)
+{
+    elv::Rng rng(7);
+    Circuit c(3);
+    append_angle_embedding(c, 3);
+    c.add_variational(GateKind::U3, {0});
+    c.add_gate(GateKind::CX, {0, 1});
+    c.add_variational(GateKind::RY, {2});
+    c.add_variational(GateKind::CRY, {1, 2});
+    c.set_measured({0, 1, 2});
+
+    EXPECT_FALSE(is_clifford_circuit(c));
+    for (int i = 0; i < 10; ++i) {
+        const Circuit replica = make_clifford_replica(c, rng);
+        EXPECT_TRUE(is_clifford_circuit(replica));
+        EXPECT_EQ(replica.measured().size(), 3u);
+        EXPECT_EQ(replica.num_params(), 0);
+    }
+}
+
+TEST(CliffordReplica, PreservesTwoQubitStructure)
+{
+    elv::Rng rng(11);
+    Circuit c(3);
+    c.add_variational(GateKind::RX, {0});
+    c.add_gate(GateKind::CX, {0, 1});
+    c.add_gate(GateKind::CZ, {1, 2});
+    c.set_measured({2});
+    const Circuit replica = make_clifford_replica(c, rng);
+    EXPECT_EQ(replica.count_kind(GateKind::CX), 1);
+    EXPECT_EQ(replica.count_kind(GateKind::CZ), 1);
+}
+
+TEST(CliffordReplica, SnapToCliffordAngle)
+{
+    EXPECT_DOUBLE_EQ(snap_to_clifford_angle(0.1), 0.0);
+    EXPECT_DOUBLE_EQ(snap_to_clifford_angle(1.5), M_PI / 2);
+    EXPECT_DOUBLE_EQ(snap_to_clifford_angle(-1.5), 3 * M_PI / 2);
+    EXPECT_DOUBLE_EQ(snap_to_clifford_angle(3.0), M_PI);
+}
+
+TEST(CliffordReplica, ReplicasDiffer)
+{
+    elv::Rng rng(3);
+    Circuit c(2);
+    for (int i = 0; i < 6; ++i)
+        c.add_variational(GateKind::RX, {i % 2});
+    c.set_measured({0, 1});
+    const auto replicas = make_clifford_replicas(c, 8, rng);
+    // At least two replicas should differ in length (different snapped
+    // angles lower to different numbers of Clifford gates).
+    bool any_difference = false;
+    for (std::size_t i = 1; i < replicas.size(); ++i)
+        if (replicas[i].ops().size() != replicas[0].ops().size())
+            any_difference = true;
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(CliffordReplica, AmplitudeEmbeddingRejected)
+{
+    elv::Rng rng(1);
+    Circuit c(2);
+    c.add_amplitude_embedding();
+    EXPECT_THROW(make_clifford_replica(c, rng), elv::InternalError);
+}
+
+} // namespace

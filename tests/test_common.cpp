@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG determinism and distribution
+ * sanity, statistics, and the table printer.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using elv::Rng;
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next_u64() == b.next_u64();
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias)
+{
+    Rng rng(11);
+    std::vector<int> counts(5, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[rng.uniform_index(5)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(3);
+    std::vector<double> xs(20000);
+    for (auto &x : xs)
+        x = rng.normal(2.0, 0.5);
+    EXPECT_NEAR(elv::mean(xs), 2.0, 0.02);
+    EXPECT_NEAR(elv::stddev(xs), 0.5, 0.02);
+}
+
+TEST(Rng, CategoricalFollowsWeights)
+{
+    Rng rng(5);
+    std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(4, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[rng.categorical(w)];
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[0] / 20000.0, 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / 20000.0, 0.3, 0.02);
+    EXPECT_NEAR(counts[3] / 20000.0, 0.6, 0.02);
+}
+
+TEST(Rng, ChooseReturnsDistinctIndices)
+{
+    Rng rng(9);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto picked = rng.choose(10, 4);
+        ASSERT_EQ(picked.size(), 4u);
+        std::set<std::size_t> unique(picked.begin(), picked.end());
+        EXPECT_EQ(unique.size(), 4u);
+        for (auto v : picked)
+            EXPECT_LT(v, 10u);
+    }
+}
+
+TEST(Rng, ChooseAllIsPermutation)
+{
+    Rng rng(13);
+    auto picked = rng.choose(6, 6);
+    std::set<std::size_t> unique(picked.begin(), picked.end());
+    EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(21);
+    Rng child = a.split();
+    EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Statistics, MeanAndStddev)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(elv::mean(xs), 2.5);
+    EXPECT_NEAR(elv::stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Statistics, PearsonPerfectCorrelation)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(elv::pearson_r(xs, ys), 1.0, 1e-12);
+    std::vector<double> neg = {10, 8, 6, 4, 2};
+    EXPECT_NEAR(elv::pearson_r(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Statistics, PearsonZeroOnConstant)
+{
+    std::vector<double> xs = {1, 2, 3};
+    std::vector<double> ys = {5, 5, 5};
+    EXPECT_DOUBLE_EQ(elv::pearson_r(xs, ys), 0.0);
+}
+
+TEST(Statistics, SpearmanMonotoneNonlinear)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {1, 8, 27, 64, 125}; // monotone, nonlinear
+    EXPECT_NEAR(elv::spearman_r(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Statistics, SpearmanHandlesTies)
+{
+    std::vector<double> xs = {1, 2, 2, 3};
+    std::vector<double> ys = {1, 2, 2, 3};
+    EXPECT_NEAR(elv::spearman_r(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Statistics, AverageRanksTies)
+{
+    auto ranks = elv::average_ranks({10.0, 20.0, 20.0, 30.0});
+    EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+    EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+    EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+    EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(Statistics, TotalVariationDistance)
+{
+    std::vector<double> p = {0.5, 0.5, 0.0};
+    std::vector<double> q = {0.0, 0.5, 0.5};
+    EXPECT_DOUBLE_EQ(elv::total_variation_distance(p, q), 0.5);
+    EXPECT_DOUBLE_EQ(elv::total_variation_distance(p, p), 0.0);
+}
+
+TEST(Statistics, TvdIsSymmetricAndBounded)
+{
+    std::vector<double> p = {1.0, 0.0};
+    std::vector<double> q = {0.0, 1.0};
+    EXPECT_DOUBLE_EQ(elv::total_variation_distance(p, q), 1.0);
+    EXPECT_DOUBLE_EQ(elv::total_variation_distance(q, p), 1.0);
+}
+
+TEST(Statistics, GeometricMean)
+{
+    std::vector<double> xs = {1.0, 100.0};
+    EXPECT_NEAR(elv::geometric_mean(xs), 10.0, 1e-9);
+}
+
+TEST(Statistics, RequiresNonEmpty)
+{
+    std::vector<double> empty;
+    EXPECT_THROW(elv::mean(empty), elv::InternalError);
+    EXPECT_THROW(elv::geometric_mean(empty), elv::InternalError);
+}
+
+TEST(Table, RendersAlignedCells)
+{
+    elv::Table t("Demo");
+    t.set_header({"name", "value"});
+    t.add_row({"alpha", elv::Table::fmt(1.23456, 2)});
+    t.add_row({"b", "x"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.23"), std::string::npos);
+}
+
+TEST(Table, PercentFormatting)
+{
+    EXPECT_EQ(elv::Table::pct(0.825), "82.5");
+    EXPECT_EQ(elv::Table::fmt(3.14159, 3), "3.142");
+}
+
+TEST(Logging, RequireThrowsInternalError)
+{
+    EXPECT_THROW(ELV_REQUIRE(false, "boom"), elv::InternalError);
+    EXPECT_NO_THROW(ELV_REQUIRE(true, "fine"));
+}
+
+TEST(Logging, FatalThrowsUsageError)
+{
+    EXPECT_THROW(elv::fatal("bad input"), elv::UsageError);
+}
+
+} // namespace

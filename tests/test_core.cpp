@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Core (Elivagar) tests: Algorithm 1 candidate generation invariants,
+ * CNR behaviour (bounds, monotonicity in noise and depth, correlation
+ * with true circuit fidelity — the Fig. 5 claim), RepCap behaviour
+ * (bounds, sensitivity to data embedding, preference for separating
+ * circuits — the Fig. 6/7 claim), and the 5-step search pipeline.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "compiler/compile.hpp"
+#include "core/candidate_gen.hpp"
+#include "core/cnr.hpp"
+#include "core/repcap.hpp"
+#include "core/search.hpp"
+#include "noise/noise_model.hpp"
+#include "qml/synthetic.hpp"
+#include "qml/trainer.hpp"
+
+namespace {
+
+using namespace elv;
+using namespace elv::circ;
+using namespace elv::core;
+
+CandidateConfig
+small_config()
+{
+    CandidateConfig config;
+    config.num_qubits = 4;
+    config.num_params = 12;
+    config.num_embeds = 4;
+    config.num_meas = 2;
+    config.num_features = 4;
+    return config;
+}
+
+TEST(CandidateGen, ProducesHardwareNativeCircuits)
+{
+    Rng rng(1);
+    const dev::Device device = dev::make_device("ibm_guadalupe");
+    const CandidateConfig config = small_config();
+    for (int trial = 0; trial < 20; ++trial) {
+        const Circuit c = generate_candidate(device, config, rng);
+        EXPECT_TRUE(comp::is_hardware_native(c, device.topology));
+        EXPECT_EQ(c.num_params(), config.num_params);
+        EXPECT_EQ(c.num_embedding_gates(), config.num_embeds);
+        EXPECT_EQ(static_cast<int>(c.measured().size()),
+                  config.num_meas);
+        EXPECT_EQ(static_cast<int>(c.touched_qubits().size()),
+                  config.num_qubits);
+    }
+}
+
+TEST(CandidateGen, EmbeddingCoversAllFeaturesWhenBudgetAllows)
+{
+    Rng rng(2);
+    const dev::Device device = dev::make_device("ibmq_jakarta");
+    CandidateConfig config = small_config();
+    config.num_embeds = 8; // two full feature cycles
+    for (int trial = 0; trial < 10; ++trial) {
+        const Circuit c = generate_candidate(device, config, rng);
+        std::set<int> features;
+        for (const Op &op : c.ops())
+            if (op.role == ParamRole::Embedding)
+                features.insert(op.data_index);
+        EXPECT_EQ(features.size(), 4u);
+    }
+}
+
+TEST(CandidateGen, FixedEmbeddingModesEmitPrefixes)
+{
+    Rng rng(3);
+    const dev::Device device = dev::make_device("ibm_guadalupe");
+    CandidateConfig config = small_config();
+
+    config.embedding = EmbeddingMode::FixedAngle;
+    const Circuit angle = generate_candidate(device, config, rng);
+    EXPECT_EQ(angle.num_embedding_gates(), config.num_features);
+    EXPECT_TRUE(comp::is_hardware_native(angle, device.topology));
+
+    config.embedding = EmbeddingMode::FixedIQP;
+    const Circuit iqp = generate_candidate(device, config, rng);
+    EXPECT_TRUE(comp::is_hardware_native(iqp, device.topology));
+    EXPECT_GT(iqp.count_kind(GateKind::H), 0);
+    bool has_product = false;
+    for (const Op &op : iqp.ops())
+        if (op.role == ParamRole::Embedding && op.data_index2 >= 0)
+            has_product = true;
+    EXPECT_TRUE(has_product);
+}
+
+TEST(CandidateGen, NoiseAwareAvoidsBadReadoutQubits)
+{
+    // On OQC Lucy (13% median readout error with spread), noise-aware
+    // measurement selection should pick the worst-readout qubit less
+    // often than uniform selection does.
+    const dev::Device device = dev::make_device("oqc_lucy");
+    int worst = 0;
+    for (int q = 1; q < device.num_qubits(); ++q)
+        if (device.readout_error[static_cast<std::size_t>(q)] >
+            device.readout_error[static_cast<std::size_t>(worst)])
+            worst = q;
+
+    CandidateConfig config = small_config();
+    config.num_qubits = device.num_qubits(); // subgraph = whole ring
+    config.num_meas = 1;
+
+    int aware_hits = 0, unaware_hits = 0;
+    Rng rng_a(4), rng_u(4);
+    for (int trial = 0; trial < 300; ++trial) {
+        config.noise_aware = true;
+        if (generate_candidate(device, config, rng_a).measured()[0] ==
+            worst)
+            ++aware_hits;
+        config.noise_aware = false;
+        if (generate_candidate(device, config, rng_u).measured()[0] ==
+            worst)
+            ++unaware_hits;
+    }
+    EXPECT_LT(aware_hits, unaware_hits);
+}
+
+TEST(CandidateGen, DeviceUnawareNeedsRouting)
+{
+    Rng rng(5);
+    CandidateConfig config = small_config();
+    config.num_qubits = 5;
+    const dev::Device device = dev::make_device("ibmq_manila");
+    int native = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+        const Circuit c = generate_device_unaware(config, rng);
+        EXPECT_EQ(c.num_params(), config.num_params);
+        if (comp::is_hardware_native(c, device.topology))
+            ++native;
+    }
+    // All-to-all random circuits almost never fit a line topology.
+    EXPECT_LT(native, 5);
+}
+
+TEST(Cnr, BoundsAndZeroNoise)
+{
+    Rng rng(6);
+    const dev::Device device = dev::make_device("ibm_lagos");
+    const Circuit c =
+        generate_candidate(device, small_config(), rng);
+
+    CnrOptions options;
+    options.num_replicas = 8;
+    options.noise_scale = 0.0;
+    const CnrResult ideal =
+        clifford_noise_resilience(c, device, rng, options);
+    EXPECT_NEAR(ideal.cnr, 1.0, 1e-9);
+    EXPECT_EQ(ideal.circuit_executions, 8u);
+
+    options.noise_scale = 1.0;
+    const CnrResult noisy =
+        clifford_noise_resilience(c, device, rng, options);
+    EXPECT_GT(noisy.cnr, 0.0);
+    EXPECT_LT(noisy.cnr, 1.0);
+}
+
+TEST(Cnr, DecreasesWithNoiseScale)
+{
+    Rng rng(7);
+    const dev::Device device = dev::make_device("ibm_perth");
+    const Circuit c =
+        generate_candidate(device, small_config(), rng);
+    CnrOptions options;
+    options.num_replicas = 12;
+    double prev = 1.1;
+    for (double scale : {0.5, 2.0, 6.0}) {
+        options.noise_scale = scale;
+        Rng local(77);
+        const double cnr =
+            clifford_noise_resilience(c, device, local, options).cnr;
+        EXPECT_LT(cnr, prev);
+        prev = cnr;
+    }
+}
+
+TEST(Cnr, PredictsCircuitFidelity)
+{
+    // The Fig. 5 claim: CNR correlates strongly with the fidelity of
+    // the original (non-Clifford) circuit under bound parameters.
+    const dev::Device device = dev::make_device("oqc_lucy");
+    const noise::NoisyDensitySimulator noisy(device);
+    Rng rng(8);
+
+    std::vector<double> cnrs, fidelities;
+    CandidateConfig config = small_config();
+    for (int n = 0; n < 40; ++n) {
+        // Vary circuit size so fidelities spread out.
+        config.num_params = 4 + 3 * (n % 10);
+        const Circuit c = generate_candidate(device, config, rng);
+        CnrOptions options;
+        options.num_replicas = 16;
+        cnrs.push_back(
+            clifford_noise_resilience(c, device, rng, options).cnr);
+
+        // Circuit fidelity averaged over parameter/input bindings (the
+        // quantity CNR predicts over the course of training, Sec. 5.1).
+        double fid = 0.0;
+        const int bindings = 8;
+        for (int b = 0; b < bindings; ++b) {
+            std::vector<double> params(
+                static_cast<std::size_t>(c.num_params()));
+            for (auto &p : params)
+                p = rng.uniform(-M_PI, M_PI);
+            std::vector<double> x(
+                static_cast<std::size_t>(config.num_features));
+            for (auto &v : x)
+                v = rng.uniform(-M_PI / 2, M_PI / 2);
+            fid += noisy.fidelity(c, params, x);
+        }
+        fidelities.push_back(fid / bindings);
+    }
+    EXPECT_GT(pearson_r(cnrs, fidelities), 0.55);
+}
+
+TEST(Cnr, StabilizerBackendAgreesWithDensity)
+{
+    Rng rng(9);
+    const dev::Device device = dev::make_device("ibm_nairobi");
+    const Circuit c =
+        generate_candidate(device, small_config(), rng);
+
+    CnrOptions dense;
+    dense.num_replicas = 16;
+    Rng r1(42);
+    const double cnr_dense =
+        clifford_noise_resilience(c, device, r1, dense).cnr;
+
+    CnrOptions stab = dense;
+    stab.backend = CnrBackend::Stabilizer;
+    stab.shots = 4096;
+    Rng r2(42);
+    const double cnr_stab =
+        clifford_noise_resilience(c, device, r2, stab).cnr;
+
+    // Different replicas and sampling noise: loose agreement.
+    EXPECT_NEAR(cnr_dense, cnr_stab, 0.12);
+}
+
+TEST(RepCap, BoundsAndDeterminism)
+{
+    const qml::Benchmark bench = qml::make_benchmark("moons", 1, 0.2);
+    Rng rng(10);
+    const dev::Device device = dev::make_device("ibmq_jakarta");
+    CandidateConfig config = small_config();
+    config.num_features = bench.spec.dim;
+    const Circuit c = generate_candidate(device, config, rng);
+
+    RepCapOptions options;
+    options.samples_per_class = 6;
+    options.param_inits = 4;
+    Rng r1(5), r2(5);
+    const RepCapResult a =
+        representational_capacity(c, bench.train, r1, options);
+    const RepCapResult b =
+        representational_capacity(c, bench.train, r2, options);
+    EXPECT_DOUBLE_EQ(a.repcap, b.repcap);
+    EXPECT_GE(a.repcap, 0.0);
+    EXPECT_LE(a.repcap, 1.0);
+    EXPECT_EQ(a.circuit_executions,
+              static_cast<std::uint64_t>(2 * 6 * 4));
+}
+
+TEST(RepCap, EmbeddingCircuitsBeatConstantCircuits)
+{
+    // A circuit that never touches the data maps every sample to the
+    // same state: all pairwise similarities are 1, so inter-class
+    // separation is zero and RepCap must be lower than for a circuit
+    // that actually embeds the data.
+    const qml::Benchmark bench = qml::make_benchmark("moons", 2, 0.2);
+    Rng rng(11);
+
+    Circuit constant(4);
+    for (int i = 0; i < 6; ++i)
+        constant.add_variational(GateKind::RY, {i % 4});
+    constant.add_gate(GateKind::CX, {0, 1});
+    constant.set_measured({0, 1});
+
+    Circuit embedding(4);
+    embedding.add_embedding(GateKind::RX, {0}, 0);
+    embedding.add_embedding(GateKind::RY, {1}, 1);
+    embedding.add_gate(GateKind::CX, {0, 1});
+    for (int i = 0; i < 4; ++i)
+        embedding.add_variational(GateKind::RY, {i % 2});
+    embedding.set_measured({0, 1});
+
+    RepCapOptions options;
+    options.samples_per_class = 8;
+    options.param_inits = 6;
+    Rng r1(3), r2(3);
+    const double rc_const =
+        representational_capacity(constant, bench.train, r1, options)
+            .repcap;
+    const double rc_embed =
+        representational_capacity(embedding, bench.train, r2, options)
+            .repcap;
+    EXPECT_GT(rc_embed, rc_const);
+}
+
+TEST(RepCap, PredictsTrainedPerformance)
+{
+    // The Fig. 6/7 claim, at test scale: across random candidates,
+    // RepCap correlates positively with trained test accuracy.
+    const qml::Benchmark bench = qml::make_benchmark("moons", 3, 0.15);
+    const dev::Device device = dev::make_device("ibmq_jakarta");
+    Rng rng(12);
+
+    CandidateConfig config = small_config();
+    config.num_features = bench.spec.dim;
+    config.num_embeds = 4;
+    config.num_params = 12;
+    config.num_meas = 1;
+
+    std::vector<double> repcaps, accuracies;
+    for (int n = 0; n < 16; ++n) {
+        const Circuit c = generate_candidate(device, config, rng);
+        RepCapOptions options;
+        options.samples_per_class = 12;
+        options.param_inits = 12;
+        Rng rc_rng(100 + n);
+        repcaps.push_back(
+            representational_capacity(c, bench.train, rc_rng, options)
+                .repcap);
+
+        // Best of two optimizer restarts, so initialization variance
+        // does not swamp the circuit-quality signal.
+        double best = 0.0;
+        for (std::uint64_t s = 1; s <= 2; ++s) {
+            qml::TrainConfig tc;
+            tc.epochs = 40;
+            tc.seed = s;
+            const auto trained = qml::train_circuit(c, bench.train, tc);
+            best = std::max(
+                best,
+                qml::evaluate(c, trained.params, bench.test).accuracy);
+        }
+        accuracies.push_back(best);
+    }
+    EXPECT_GT(spearman_r(repcaps, accuracies), 0.4);
+}
+
+TEST(Search, EndToEndPipeline)
+{
+    const qml::Benchmark bench = qml::make_benchmark("moons", 4, 0.15);
+    const dev::Device device = dev::make_device("ibm_lagos");
+
+    ElivagarConfig config;
+    config.num_candidates = 24;
+    config.candidate = small_config();
+    config.candidate.num_params = 16;
+    config.candidate.num_embeds = 6;
+    config.candidate.num_meas = 1;
+    config.candidate.num_features = bench.spec.dim;
+    config.cnr.num_replicas = 6;
+    config.repcap.samples_per_class = 8;
+    config.repcap.param_inits = 8;
+    config.seed = 13;
+
+    const SearchResult result =
+        elivagar_search(device, bench.train, config);
+    EXPECT_TRUE(
+        comp::is_hardware_native(result.best_circuit, device.topology));
+    EXPECT_EQ(result.candidates.size(), 24u);
+    EXPECT_GE(result.survivors, 1);
+    EXPECT_LE(result.survivors, 12); // top 50%
+    EXPECT_EQ(result.cnr_executions, 24u * 6u);
+    // RepCap executions only for survivors.
+    EXPECT_EQ(result.repcap_executions,
+              static_cast<std::uint64_t>(result.survivors) * 2 * 8 * 8);
+    EXPECT_GT(result.best_score, 0.0);
+
+    // The chosen circuit must be trainable to a reasonable accuracy
+    // (best of two optimizer restarts, as initializations vary).
+    double best_acc = 0.0;
+    for (std::uint64_t s = 1; s <= 2; ++s) {
+        qml::TrainConfig tc;
+        tc.epochs = 40;
+        tc.seed = s;
+        const auto trained =
+            qml::train_circuit(result.best_circuit, bench.train, tc);
+        best_acc = std::max(
+            best_acc,
+            qml::evaluate(result.best_circuit, trained.params,
+                          bench.test)
+                .accuracy);
+    }
+    EXPECT_GT(best_acc, 0.6);
+}
+
+TEST(Search, CnrDisabledEvaluatesEveryone)
+{
+    const qml::Benchmark bench = qml::make_benchmark("moons", 5, 0.1);
+    const dev::Device device = dev::make_device("ibm_lagos");
+
+    ElivagarConfig config;
+    config.num_candidates = 8;
+    config.candidate = small_config();
+    config.candidate.num_features = bench.spec.dim;
+    config.use_cnr = false;
+    config.repcap.samples_per_class = 4;
+    config.repcap.param_inits = 3;
+    config.seed = 14;
+
+    const SearchResult result =
+        elivagar_search(device, bench.train, config);
+    EXPECT_EQ(result.survivors, 8);
+    EXPECT_EQ(result.cnr_executions, 0u);
+    for (const auto &record : result.candidates)
+        EXPECT_FALSE(record.rejected_by_cnr);
+}
+
+TEST(Search, HigherThresholdRejectsMore)
+{
+    const qml::Benchmark bench = qml::make_benchmark("moons", 6, 0.1);
+    // A very noisy device so CNR values spread below 1.
+    const dev::Device device = dev::make_device("rigetti_aspen_m3");
+
+    ElivagarConfig config;
+    config.num_candidates = 10;
+    config.candidate = small_config();
+    config.candidate.num_features = bench.spec.dim;
+    config.cnr.num_replicas = 4;
+    config.repcap.samples_per_class = 4;
+    config.repcap.param_inits = 2;
+    config.seed = 15;
+
+    config.cnr_threshold = 0.0;
+    config.keep_fraction = 1.0;
+    const SearchResult lax = elivagar_search(device, bench.train, config);
+    config.cnr_threshold = 0.9;
+    config.keep_fraction = 0.5;
+    const SearchResult strict =
+        elivagar_search(device, bench.train, config);
+    EXPECT_LT(strict.survivors, lax.survivors);
+    EXPECT_LT(strict.repcap_executions, lax.repcap_executions);
+}
+
+} // namespace

@@ -1,0 +1,520 @@
+/**
+ * @file
+ * Tests for the simulators: gate unitarity, canonical states, observable
+ * expectations, agreement of adjoint / parameter-shift / finite-difference
+ * gradients, density-matrix vs state-vector consistency, Kraus map trace
+ * preservation, and Clifford-replica lowering correctness.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/builders.hpp"
+#include "circuit/clifford_replica.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/gradients.hpp"
+#include "sim/observable.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace elv;
+using namespace elv::circ;
+using namespace elv::sim;
+
+bool
+is_unitary2(const Mat2 &u)
+{
+    const Mat2 p = matmul(u, dagger(u));
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            if (std::abs(p[i][j] - (i == j ? Amp(1) : Amp(0))) > 1e-12)
+                return false;
+    return true;
+}
+
+bool
+is_unitary4(const Mat4 &u)
+{
+    const Mat4 p = matmul(u, dagger(u));
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            if (std::abs(p[i][j] - (i == j ? Amp(1) : Amp(0))) > 1e-12)
+                return false;
+    return true;
+}
+
+TEST(Unitaries, AllGatesAreUnitary)
+{
+    const std::array<double, 3> angles = {0.7, -1.3, 2.1};
+    for (GateKind kind : {GateKind::RX, GateKind::RY, GateKind::RZ,
+                          GateKind::U3, GateKind::H, GateKind::S,
+                          GateKind::Sdg, GateKind::X, GateKind::Y,
+                          GateKind::Z})
+        EXPECT_TRUE(is_unitary2(gate_matrix_1q(kind, angles)))
+            << gate_name(kind);
+    for (GateKind kind : {GateKind::CX, GateKind::CZ, GateKind::SWAP,
+                          GateKind::CRY})
+        EXPECT_TRUE(is_unitary4(gate_matrix_2q(kind, angles)))
+            << gate_name(kind);
+}
+
+TEST(Unitaries, DerivativesMatchFiniteDifference)
+{
+    const double eps = 1e-6;
+    const std::array<double, 3> a = {0.4, 1.1, -0.8};
+    for (GateKind kind : {GateKind::RX, GateKind::RY, GateKind::RZ,
+                          GateKind::U3}) {
+        const int np = gate_num_params(kind);
+        for (int slot = 0; slot < np; ++slot) {
+            auto ap = a, am = a;
+            ap[slot] += eps;
+            am[slot] -= eps;
+            const Mat2 up = gate_matrix_1q(kind, ap);
+            const Mat2 um = gate_matrix_1q(kind, am);
+            const Mat2 d = gate_matrix_1q_deriv(kind, a, slot);
+            for (int i = 0; i < 2; ++i)
+                for (int j = 0; j < 2; ++j)
+                    EXPECT_NEAR(std::abs(d[i][j] -
+                                         (up[i][j] - um[i][j]) /
+                                             (2 * eps)),
+                                0.0, 1e-7)
+                        << gate_name(kind) << " slot " << slot;
+        }
+    }
+    // CRY derivative.
+    auto ap = a, am = a;
+    ap[0] += eps;
+    am[0] -= eps;
+    const Mat4 up = gate_matrix_2q(GateKind::CRY, ap);
+    const Mat4 um = gate_matrix_2q(GateKind::CRY, am);
+    const Mat4 d = gate_matrix_2q_deriv(GateKind::CRY, a, 0);
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            EXPECT_NEAR(std::abs(d[i][j] - (up[i][j] - um[i][j]) /
+                                               (2 * eps)),
+                        0.0, 1e-7);
+}
+
+TEST(StateVector, BellState)
+{
+    Circuit c(2);
+    c.add_gate(GateKind::H, {0});
+    c.add_gate(GateKind::CX, {0, 1});
+    StateVector psi(2);
+    psi.run(c);
+    EXPECT_NEAR(std::abs(psi.amp(0)), 1 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(psi.amp(3)), 1 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(psi.amp(1)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(psi.amp(2)), 0.0, 1e-12);
+    EXPECT_NEAR(psi.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, CxControlTargetOrder)
+{
+    // CX with control q0=1: X|0> on qubit 0 -> |..1>, then CX(0 -> 1).
+    Circuit c(2);
+    c.add_gate(GateKind::X, {0});
+    c.add_gate(GateKind::CX, {0, 1});
+    StateVector psi(2);
+    psi.run(c);
+    // Expect |11> = index 3 (bit0 = qubit0, bit1 = qubit1).
+    EXPECT_NEAR(std::abs(psi.amp(3)), 1.0, 1e-12);
+
+    // Control in |0> leaves target alone.
+    Circuit c2(2);
+    c2.add_gate(GateKind::CX, {0, 1});
+    psi.run(c2);
+    EXPECT_NEAR(std::abs(psi.amp(0)), 1.0, 1e-12);
+}
+
+TEST(StateVector, RotationExpectations)
+{
+    // RX(theta) on |0>: <Z> = cos(theta).
+    for (double theta : {0.0, 0.3, 1.2, M_PI / 2, 2.5}) {
+        Circuit c(1);
+        c.add_variational(GateKind::RX, {0});
+        StateVector psi(1);
+        psi.run(c, {theta});
+        EXPECT_NEAR(psi.expect_z(0), std::cos(theta), 1e-12);
+    }
+}
+
+TEST(StateVector, SwapMovesAmplitude)
+{
+    Circuit c(2);
+    c.add_gate(GateKind::X, {0});
+    c.add_gate(GateKind::SWAP, {0, 1});
+    StateVector psi(2);
+    psi.run(c);
+    EXPECT_NEAR(std::abs(psi.amp(2)), 1.0, 1e-12); // |q1=1, q0=0>
+}
+
+TEST(StateVector, AmplitudeEmbeddingNormalizes)
+{
+    StateVector psi(2);
+    psi.set_amplitude_embedding({3.0, 0.0, 4.0});
+    EXPECT_NEAR(std::abs(psi.amp(0)), 0.6, 1e-12);
+    EXPECT_NEAR(std::abs(psi.amp(2)), 0.8, 1e-12);
+    EXPECT_NEAR(psi.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, MarginalProbabilities)
+{
+    Circuit c(3);
+    c.add_gate(GateKind::H, {0});
+    c.add_gate(GateKind::CX, {0, 2});
+    StateVector psi(3);
+    psi.run(c);
+    const auto p = psi.probabilities({0, 2});
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_NEAR(p[0], 0.5, 1e-12); // 00
+    EXPECT_NEAR(p[3], 0.5, 1e-12); // 11
+    const auto pz = psi.probabilities({1});
+    EXPECT_NEAR(pz[0], 1.0, 1e-12);
+}
+
+TEST(StateVector, SamplingMatchesBornRule)
+{
+    Circuit c(1);
+    c.add_variational(GateKind::RY, {0});
+    StateVector psi(1);
+    psi.run(c, {2.0 * std::acos(std::sqrt(0.3))}); // P(0) = 0.3
+    Rng rng(99);
+    int zeros = 0;
+    for (int i = 0; i < 20000; ++i)
+        zeros += psi.sample({0}, rng) == 0;
+    EXPECT_NEAR(zeros / 20000.0, 0.3, 0.02);
+}
+
+TEST(Observable, PauliZAndGroups)
+{
+    StateVector psi(2);
+    Circuit c(2);
+    c.add_gate(GateKind::X, {1});
+    psi.run(c);
+    EXPECT_DOUBLE_EQ(DiagonalObservable::pauli_z(0).expectation(psi), 1.0);
+    EXPECT_DOUBLE_EQ(DiagonalObservable::pauli_z(1).expectation(psi), -1.0);
+
+    const auto projs = class_projectors({0, 1}, 2);
+    // State |q1 q0> = |10> -> outcome 2 -> group 0.
+    EXPECT_DOUBLE_EQ(projs[0].expectation(psi), 1.0);
+    EXPECT_DOUBLE_EQ(projs[1].expectation(psi), 0.0);
+}
+
+TEST(Observable, GroupProjectorsPartitionUnity)
+{
+    Rng rng(17);
+    Circuit c = build_random_rxyz_cz(3, 3, 9, 3, rng);
+    std::vector<double> params(9), x = {0.2, -1.0, 0.7};
+    for (auto &p : params)
+        p = rng.uniform(-M_PI, M_PI);
+    const auto projs = class_projectors(c.measured(), 3);
+    const auto vals = expectations(c, params, x, projs);
+    double total = 0.0;
+    for (double v : vals) {
+        EXPECT_GE(v, -1e-12);
+        total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+class GradientAgreement : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GradientAgreement, AdjointMatchesShiftAndFiniteDifference)
+{
+    Rng rng(GetParam());
+    Circuit c(3);
+    append_angle_embedding(c, 3);
+    c.add_variational(GateKind::U3, {0});
+    c.add_gate(GateKind::CX, {0, 1});
+    c.add_variational(GateKind::RY, {1});
+    c.add_variational(GateKind::CRY, {1, 2});
+    c.add_gate(GateKind::CZ, {0, 2});
+    c.add_variational(GateKind::RZ, {2});
+    c.add_variational(GateKind::RX, {0});
+    c.set_measured({0, 2});
+
+    std::vector<double> params(static_cast<std::size_t>(c.num_params()));
+    for (auto &p : params)
+        p = rng.uniform(-M_PI, M_PI);
+    const std::vector<double> x = {rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                   rng.uniform(-1, 1)};
+
+    const auto obs = class_projectors(c.measured(), 2);
+    const auto adj = adjoint_gradient(c, params, x, obs);
+    const auto shift = parameter_shift_gradient(c, params, x, obs);
+
+    ASSERT_EQ(adj.values.size(), shift.values.size());
+    for (std::size_t oi = 0; oi < obs.size(); ++oi) {
+        EXPECT_NEAR(adj.values[oi], shift.values[oi], 1e-10);
+        for (std::size_t pi = 0; pi < params.size(); ++pi)
+            EXPECT_NEAR(adj.jacobian[oi][pi], shift.jacobian[oi][pi],
+                        1e-9)
+                << "obs " << oi << " param " << pi;
+    }
+
+    // Finite differences as independent ground truth.
+    const double eps = 1e-6;
+    for (std::size_t pi = 0; pi < params.size(); ++pi) {
+        auto pp = params, pm = params;
+        pp[pi] += eps;
+        pm[pi] -= eps;
+        const auto vp = expectations(c, pp, x, obs);
+        const auto vm = expectations(c, pm, x, obs);
+        for (std::size_t oi = 0; oi < obs.size(); ++oi)
+            EXPECT_NEAR(adj.jacobian[oi][pi],
+                        (vp[oi] - vm[oi]) / (2 * eps), 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GradientAgreement,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Gradients, ParameterShiftCountsExecutions)
+{
+    Circuit c(2);
+    c.add_variational(GateKind::RX, {0});
+    c.add_variational(GateKind::RY, {1});
+    c.set_measured({0});
+    const auto obs = class_projectors(c.measured(), 2);
+    const auto res =
+        parameter_shift_gradient(c, {0.1, 0.2}, {}, obs);
+    // 1 base + 2 shifts per parameter.
+    EXPECT_EQ(res.circuit_executions, 5u);
+
+    const auto adj = adjoint_gradient(c, {0.1, 0.2}, {}, obs);
+    EXPECT_EQ(adj.circuit_executions, 1u);
+}
+
+TEST(DensityMatrix, MatchesStateVectorNoiseless)
+{
+    Rng rng(23);
+    Circuit c = build_random_rxyz_cz(4, 4, 12, 2, rng);
+    std::vector<double> params(12);
+    for (auto &p : params)
+        p = rng.uniform(-M_PI, M_PI);
+    const std::vector<double> x = {0.1, -0.5, 0.8, 1.4};
+
+    StateVector psi(4);
+    psi.run(c, params, x);
+    DensityMatrix rho(4);
+    rho.run(c, params, x);
+
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+    const auto pv = psi.probabilities(c.measured());
+    const auto pd = rho.probabilities(c.measured());
+    ASSERT_EQ(pv.size(), pd.size());
+    for (std::size_t i = 0; i < pv.size(); ++i)
+        EXPECT_NEAR(pv[i], pd[i], 1e-10);
+}
+
+TEST(DensityMatrix, DepolarizingKrausIsTracePreserving)
+{
+    const double p = 0.1;
+    const double s = std::sqrt(p / 3.0);
+    const std::array<double, 3> no_angles = {0, 0, 0};
+    std::vector<Mat2> kraus;
+    Mat2 k0 = identity2();
+    k0[0][0] *= std::sqrt(1 - p);
+    k0[1][1] *= std::sqrt(1 - p);
+    kraus.push_back(k0);
+    for (GateKind pk : {GateKind::X, GateKind::Y, GateKind::Z}) {
+        Mat2 k = gate_matrix_1q(pk, no_angles);
+        for (auto &row : k)
+            for (auto &e : row)
+                e *= s;
+        kraus.push_back(k);
+    }
+
+    DensityMatrix rho(2);
+    Circuit c(2);
+    c.add_gate(GateKind::H, {0});
+    c.add_gate(GateKind::CX, {0, 1});
+    rho.run(c);
+    rho.apply_kraus_1q(kraus, 0);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+    EXPECT_LT(rho.purity(), 1.0);
+}
+
+TEST(DensityMatrix, AmplitudeEmbeddingAsPureState)
+{
+    DensityMatrix rho(2);
+    Circuit c(2);
+    c.add_amplitude_embedding();
+    rho.run(c, {}, {1.0, 1.0, 1.0, 1.0});
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+    const auto p = rho.probabilities({0, 1});
+    for (double v : p)
+        EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(CliffordLowering, NearestReplicaMatchesSnappedRotations)
+{
+    // Build a circuit with rotation angles already at Clifford values;
+    // its Nearest-mode replica must produce the identical distribution.
+    Rng rng(31);
+    for (int trial = 0; trial < 10; ++trial) {
+        Circuit c(3);
+        c.add_variational(GateKind::RX, {0});
+        c.add_variational(GateKind::RY, {1});
+        c.add_variational(GateKind::RZ, {2});
+        c.add_gate(GateKind::CX, {0, 1});
+        c.add_variational(GateKind::U3, {2});
+        c.add_gate(GateKind::CZ, {1, 2});
+        c.add_variational(GateKind::CRY, {0, 2});
+        c.set_measured({0, 1, 2});
+
+        std::vector<double> params(
+            static_cast<std::size_t>(c.num_params()));
+        for (std::size_t i = 0; i < params.size(); ++i)
+            params[i] = (M_PI / 2.0) *
+                        static_cast<double>(rng.uniform_index(4));
+        // CRY angle must be a multiple of pi to stay Clifford.
+        params.back() = M_PI * static_cast<double>(rng.uniform_index(2));
+
+        const Circuit replica = make_clifford_replica(
+            c, rng, ReplicaMode::Nearest, params, {});
+        ASSERT_TRUE(is_clifford_circuit(replica));
+
+        StateVector direct(3), lowered(3);
+        direct.run(c, params, {});
+        lowered.run(replica);
+        const auto p1 = direct.probabilities(c.measured());
+        const auto p2 = lowered.probabilities(replica.measured());
+        for (std::size_t i = 0; i < p1.size(); ++i)
+            EXPECT_NEAR(p1[i], p2[i], 1e-10) << "trial " << trial;
+    }
+}
+
+TEST(CliffordLowering, RandomReplicaDistributionIsValid)
+{
+    Rng rng(37);
+    Circuit c(4);
+    append_angle_embedding(c, 4);
+    c.add_variational(GateKind::RY, {1});
+    c.add_gate(GateKind::CX, {1, 2});
+    c.add_variational(GateKind::U3, {3});
+    c.set_measured({1, 2, 3});
+    for (int i = 0; i < 5; ++i) {
+        const Circuit replica = make_clifford_replica(c, rng);
+        StateVector psi(4);
+        psi.run(replica);
+        const auto p = psi.probabilities(replica.measured());
+        double total = 0.0;
+        for (double v : p)
+            total += v;
+        EXPECT_NEAR(total, 1.0, 1e-10);
+    }
+}
+
+/** Gate-identity property sweep: algebraic identities the gate set must
+ * satisfy, checked as full-state equalities on random inputs. */
+class GateIdentities : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    /** Random 2-qubit state prepared by a random circuit. */
+    StateVector
+    random_state(Rng &rng) const
+    {
+        StateVector psi(2);
+        Circuit prep = build_random_rxyz_cz(2, 2, 6, 1, rng);
+        std::vector<double> params(6);
+        for (auto &p : params)
+            p = rng.uniform(-M_PI, M_PI);
+        psi.run(prep, params, {0.3, -0.8});
+        return psi;
+    }
+
+    static void
+    expect_equal(const StateVector &a, const StateVector &b)
+    {
+        EXPECT_NEAR(a.overlap(b), 1.0, 1e-10);
+    }
+};
+
+TEST_P(GateIdentities, HzhIsX)
+{
+    Rng rng(GetParam());
+    StateVector a = random_state(rng);
+    StateVector b = a;
+    const std::array<double, 3> no_angles = {0, 0, 0};
+    a.apply_1q(gate_matrix_1q(GateKind::H, no_angles), 0);
+    a.apply_1q(gate_matrix_1q(GateKind::Z, no_angles), 0);
+    a.apply_1q(gate_matrix_1q(GateKind::H, no_angles), 0);
+    b.apply_1q(gate_matrix_1q(GateKind::X, no_angles), 0);
+    expect_equal(a, b);
+}
+
+TEST_P(GateIdentities, SSquaredIsZ)
+{
+    Rng rng(GetParam() + 50);
+    StateVector a = random_state(rng);
+    StateVector b = a;
+    const std::array<double, 3> no_angles = {0, 0, 0};
+    a.apply_1q(gate_matrix_1q(GateKind::S, no_angles), 1);
+    a.apply_1q(gate_matrix_1q(GateKind::S, no_angles), 1);
+    b.apply_1q(gate_matrix_1q(GateKind::Z, no_angles), 1);
+    expect_equal(a, b);
+}
+
+TEST_P(GateIdentities, CzIsSymmetric)
+{
+    Rng rng(GetParam() + 100);
+    StateVector a = random_state(rng);
+    StateVector b = a;
+    const std::array<double, 3> no_angles = {0, 0, 0};
+    a.apply_2q(gate_matrix_2q(GateKind::CZ, no_angles), 0, 1);
+    b.apply_2q(gate_matrix_2q(GateKind::CZ, no_angles), 1, 0);
+    expect_equal(a, b);
+}
+
+TEST_P(GateIdentities, SwapIsThreeCx)
+{
+    Rng rng(GetParam() + 150);
+    StateVector a = random_state(rng);
+    StateVector b = a;
+    const std::array<double, 3> no_angles = {0, 0, 0};
+    a.apply_2q(gate_matrix_2q(GateKind::SWAP, no_angles), 0, 1);
+    b.apply_2q(gate_matrix_2q(GateKind::CX, no_angles), 0, 1);
+    b.apply_2q(gate_matrix_2q(GateKind::CX, no_angles), 1, 0);
+    b.apply_2q(gate_matrix_2q(GateKind::CX, no_angles), 0, 1);
+    expect_equal(a, b);
+}
+
+TEST_P(GateIdentities, RotationsComposeAdditively)
+{
+    Rng rng(GetParam() + 200);
+    const double t1 = rng.uniform(-M_PI, M_PI);
+    const double t2 = rng.uniform(-M_PI, M_PI);
+    for (GateKind kind : {GateKind::RX, GateKind::RY, GateKind::RZ}) {
+        StateVector a = random_state(rng);
+        StateVector b = a;
+        a.apply_1q(gate_matrix_1q(kind, {t1, 0, 0}), 0);
+        a.apply_1q(gate_matrix_1q(kind, {t2, 0, 0}), 0);
+        b.apply_1q(gate_matrix_1q(kind, {t1 + t2, 0, 0}), 0);
+        expect_equal(a, b);
+    }
+}
+
+TEST_P(GateIdentities, UnitaryEvolutionPreservesNorm)
+{
+    Rng rng(GetParam() + 250);
+    Circuit c = build_random_rxyz_cz(4, 3, 20, 2, rng);
+    std::vector<double> params(20);
+    for (auto &p : params)
+        p = rng.uniform(-M_PI, M_PI);
+    StateVector psi(4);
+    psi.run(c, params, {0.1, 0.2, -0.3});
+    EXPECT_NEAR(psi.norm(), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GateIdentities,
+                         ::testing::Values(1, 2, 3, 4));
+
+} // namespace

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Stabilizer simulator tests: agreement with the state-vector simulator
+ * on random Clifford circuits (the core correctness property), canonical
+ * states, measurement collapse, Pauli injection, and scalability to
+ * qubit counts far beyond dense simulation.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "circuit/clifford_replica.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "sim/statevector.hpp"
+#include "stabilizer/tableau.hpp"
+
+namespace {
+
+using namespace elv;
+using namespace elv::circ;
+using namespace elv::stab;
+
+/** Build a random Clifford circuit on n qubits with `gates` gates. */
+Circuit
+random_clifford_circuit(int n, int gates, Rng &rng)
+{
+    Circuit c(n);
+    for (int g = 0; g < gates; ++g) {
+        const int pick = static_cast<int>(rng.uniform_index(n >= 2 ? 7 : 5));
+        const int q = static_cast<int>(
+            rng.uniform_index(static_cast<std::size_t>(n)));
+        switch (pick) {
+          case 0: c.add_gate(GateKind::H, {q}); break;
+          case 1: c.add_gate(GateKind::S, {q}); break;
+          case 2: c.add_gate(GateKind::Sdg, {q}); break;
+          case 3: c.add_gate(GateKind::X, {q}); break;
+          case 4: c.add_gate(GateKind::Z, {q}); break;
+          default: {
+            int b = static_cast<int>(
+                rng.uniform_index(static_cast<std::size_t>(n - 1)));
+            if (b >= q)
+                ++b;
+            c.add_gate(pick == 5 ? GateKind::CX : GateKind::CZ, {q, b});
+            break;
+          }
+        }
+    }
+    std::vector<int> meas;
+    for (int q = 0; q < n; ++q)
+        meas.push_back(q);
+    c.set_measured(meas);
+    return c;
+}
+
+TEST(Tableau, InitialStateMeasuresZero)
+{
+    Rng rng(1);
+    Tableau tab(4);
+    for (int q = 0; q < 4; ++q) {
+        EXPECT_TRUE(tab.is_deterministic(q));
+        EXPECT_EQ(tab.measure(q, rng), 0);
+    }
+}
+
+TEST(Tableau, HadamardGivesRandomOutcome)
+{
+    Rng rng(2);
+    int ones = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        Tableau tab(1);
+        tab.h(0);
+        EXPECT_FALSE(tab.is_deterministic(0));
+        ones += tab.measure(0, rng);
+    }
+    EXPECT_NEAR(ones / 2000.0, 0.5, 0.05);
+}
+
+TEST(Tableau, MeasurementCollapses)
+{
+    Rng rng(3);
+    Tableau tab(1);
+    tab.h(0);
+    const int first = tab.measure(0, rng);
+    // Repeated measurement must repeat the outcome.
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_TRUE(tab.is_deterministic(0));
+        EXPECT_EQ(tab.measure(0, rng), first);
+    }
+}
+
+TEST(Tableau, BellStateCorrelations)
+{
+    Rng rng(4);
+    for (int trial = 0; trial < 200; ++trial) {
+        Tableau tab(2);
+        tab.h(0);
+        tab.cx(0, 1);
+        const int a = tab.measure(0, rng);
+        const int b = tab.measure(1, rng);
+        EXPECT_EQ(a, b);
+    }
+}
+
+TEST(Tableau, XFlipsOutcome)
+{
+    Rng rng(5);
+    Tableau tab(2);
+    tab.x(1);
+    EXPECT_EQ(tab.measure(0, rng), 0);
+    EXPECT_EQ(tab.measure(1, rng), 1);
+}
+
+TEST(Tableau, PauliInjectionOnPlusState)
+{
+    // Z on |+> flips X-basis outcome; in Z basis the distribution stays
+    // uniform, but H Z H |0> = |1> deterministically.
+    Rng rng(6);
+    Tableau tab(1);
+    tab.h(0);
+    tab.pauli(0, false, true); // Z error
+    tab.h(0);
+    EXPECT_TRUE(tab.is_deterministic(0));
+    EXPECT_EQ(tab.measure(0, rng), 1);
+}
+
+TEST(Tableau, SwapGate)
+{
+    Rng rng(7);
+    Tableau tab(2);
+    tab.x(0);
+    tab.swap_gate(0, 1);
+    EXPECT_EQ(tab.measure(0, rng), 0);
+    EXPECT_EQ(tab.measure(1, rng), 1);
+}
+
+TEST(Tableau, SdgIsInverseOfS)
+{
+    Rng rng(8);
+    Tableau tab(1);
+    tab.h(0);
+    tab.s(0);
+    tab.sdg(0);
+    tab.h(0);
+    EXPECT_EQ(tab.measure(0, rng), 0);
+}
+
+class TableauVsStateVector : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TableauVsStateVector, DistributionsAgree)
+{
+    Rng rng(GetParam());
+    const int n = 4;
+    const Circuit c = random_clifford_circuit(n, 40, rng);
+
+    sim::StateVector psi(n);
+    psi.run(c);
+    const auto exact = psi.probabilities(c.measured());
+
+    Rng shot_rng(GetParam() + 1000);
+    const auto sampled = sample_distribution(c, 20000, shot_rng);
+
+    ASSERT_EQ(exact.size(), sampled.size());
+    EXPECT_LT(total_variation_distance(exact, sampled), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableauVsStateVector,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77,
+                                           88));
+
+TEST(Tableau, CliffordReplicaAgreesWithDenseSimulation)
+{
+    // End-to-end: replicas of a parametric circuit run identically on
+    // the tableau and the state-vector backends.
+    Rng rng(123);
+    Circuit c(3);
+    c.add_variational(GateKind::RX, {0});
+    c.add_gate(GateKind::CX, {0, 1});
+    c.add_variational(GateKind::U3, {2});
+    c.add_gate(GateKind::CZ, {1, 2});
+    c.add_variational(GateKind::RY, {1});
+    c.set_measured({0, 1, 2});
+
+    for (int i = 0; i < 4; ++i) {
+        const Circuit replica = make_clifford_replica(c, rng);
+        sim::StateVector psi(3);
+        psi.run(replica);
+        const auto exact = psi.probabilities(replica.measured());
+        Rng shot_rng(500 + i);
+        const auto sampled = sample_distribution(replica, 20000, shot_rng);
+        EXPECT_LT(total_variation_distance(exact, sampled), 0.03);
+    }
+}
+
+TEST(Tableau, ScalesToLargeRegisters)
+{
+    // 80 qubits: far beyond dense simulation; GHZ chain must still give
+    // perfectly correlated outcomes.
+    Rng rng(9);
+    const int n = 80;
+    Tableau tab(n);
+    tab.h(0);
+    for (int q = 0; q + 1 < n; ++q)
+        tab.cx(q, q + 1);
+    const int first = tab.measure(0, rng);
+    for (int q = 1; q < n; ++q)
+        EXPECT_EQ(tab.measure(q, rng), first);
+}
+
+TEST(Tableau, RejectsNonCliffordOps)
+{
+    Circuit c(1);
+    c.add_variational(GateKind::RX, {0});
+    c.set_measured({0});
+    Tableau tab(1);
+    EXPECT_THROW(tab.apply(c), elv::InternalError);
+}
+
+TEST(RunShot, ReadoutFlipHookApplies)
+{
+    // A hook that always flips readout turns |0> shots into |1>.
+    class AlwaysFlip : public PauliNoiseHook
+    {
+      public:
+        void after_op(Tableau &, const circ::Op &,
+                      Rng &) const override {}
+        double readout_flip_probability(int) const override { return 1.0; }
+    };
+    // readout flip prob of 1.0 with bernoulli(1.0) is always true.
+    Circuit c(1);
+    c.add_gate(GateKind::Z, {0}); // no-op on |0>
+    c.set_measured({0});
+    Rng rng(10);
+    AlwaysFlip hook;
+    EXPECT_EQ(run_shot(c, rng, &hook), 1u);
+}
+
+} // namespace
