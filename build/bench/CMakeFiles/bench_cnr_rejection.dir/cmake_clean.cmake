@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cnr_rejection.dir/bench_cnr_rejection.cpp.o"
+  "CMakeFiles/bench_cnr_rejection.dir/bench_cnr_rejection.cpp.o.d"
+  "bench_cnr_rejection"
+  "bench_cnr_rejection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cnr_rejection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

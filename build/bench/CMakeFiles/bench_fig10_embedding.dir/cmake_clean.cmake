@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_embedding.dir/bench_fig10_embedding.cpp.o"
+  "CMakeFiles/bench_fig10_embedding.dir/bench_fig10_embedding.cpp.o.d"
+  "bench_fig10_embedding"
+  "bench_fig10_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

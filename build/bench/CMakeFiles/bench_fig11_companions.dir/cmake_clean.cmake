@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_companions.dir/bench_fig11_companions.cpp.o"
+  "CMakeFiles/bench_fig11_companions.dir/bench_fig11_companions.cpp.o.d"
+  "bench_fig11_companions"
+  "bench_fig11_companions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_companions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_repcap_fmnist.dir/bench_fig6_repcap_fmnist.cpp.o"
+  "CMakeFiles/bench_fig6_repcap_fmnist.dir/bench_fig6_repcap_fmnist.cpp.o.d"
+  "bench_fig6_repcap_fmnist"
+  "bench_fig6_repcap_fmnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_repcap_fmnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_repcap_tasks.dir/bench_fig7_repcap_tasks.cpp.o"
+  "CMakeFiles/bench_fig7_repcap_tasks.dir/bench_fig7_repcap_tasks.cpp.o.d"
+  "bench_fig7_repcap_tasks"
+  "bench_fig7_repcap_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_repcap_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

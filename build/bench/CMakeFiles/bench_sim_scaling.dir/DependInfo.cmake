@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sim_scaling.cpp" "bench/CMakeFiles/bench_sim_scaling.dir/bench_sim_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_sim_scaling.dir/bench_sim_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/elv_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/elv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/elv_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/elv_extensions.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/elv_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/elv_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/qml/CMakeFiles/elv_qml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stabilizer/CMakeFiles/elv_stabilizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/elv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/elv_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libelv_bench_harness.a"
+)

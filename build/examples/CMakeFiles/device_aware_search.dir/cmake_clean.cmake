@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_aware_search.dir/device_aware_search.cpp.o"
+  "CMakeFiles/device_aware_search.dir/device_aware_search.cpp.o.d"
+  "device_aware_search"
+  "device_aware_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_aware_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elivagar_cli.dir/elivagar_cli.cpp.o"
+  "CMakeFiles/elivagar_cli.dir/elivagar_cli.cpp.o.d"
+  "elivagar_cli"
+  "elivagar_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elivagar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

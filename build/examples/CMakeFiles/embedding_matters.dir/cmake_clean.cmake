@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_matters.dir/embedding_matters.cpp.o"
+  "CMakeFiles/embedding_matters.dir/embedding_matters.cpp.o.d"
+  "embedding_matters"
+  "embedding_matters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_matters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

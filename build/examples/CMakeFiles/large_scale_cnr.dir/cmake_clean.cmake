@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_scale_cnr.dir/large_scale_cnr.cpp.o"
+  "CMakeFiles/large_scale_cnr.dir/large_scale_cnr.cpp.o.d"
+  "large_scale_cnr"
+  "large_scale_cnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_scale_cnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_aware_deployment.dir/noise_aware_deployment.cpp.o"
+  "CMakeFiles/noise_aware_deployment.dir/noise_aware_deployment.cpp.o.d"
+  "noise_aware_deployment"
+  "noise_aware_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_aware_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elv_baselines.dir/quantum_supernet.cpp.o"
+  "CMakeFiles/elv_baselines.dir/quantum_supernet.cpp.o.d"
+  "CMakeFiles/elv_baselines.dir/quantumnas.cpp.o"
+  "CMakeFiles/elv_baselines.dir/quantumnas.cpp.o.d"
+  "CMakeFiles/elv_baselines.dir/simple.cpp.o"
+  "CMakeFiles/elv_baselines.dir/simple.cpp.o.d"
+  "CMakeFiles/elv_baselines.dir/supercircuit.cpp.o"
+  "CMakeFiles/elv_baselines.dir/supercircuit.cpp.o.d"
+  "libelv_baselines.a"
+  "libelv_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elv_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/builders.cpp" "src/circuit/CMakeFiles/elv_circuit.dir/builders.cpp.o" "gcc" "src/circuit/CMakeFiles/elv_circuit.dir/builders.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/elv_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/elv_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/clifford_replica.cpp" "src/circuit/CMakeFiles/elv_circuit.dir/clifford_replica.cpp.o" "gcc" "src/circuit/CMakeFiles/elv_circuit.dir/clifford_replica.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "src/circuit/CMakeFiles/elv_circuit.dir/gate.cpp.o" "gcc" "src/circuit/CMakeFiles/elv_circuit.dir/gate.cpp.o.d"
+  "/root/repo/src/circuit/serialize.cpp" "src/circuit/CMakeFiles/elv_circuit.dir/serialize.cpp.o" "gcc" "src/circuit/CMakeFiles/elv_circuit.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/elv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

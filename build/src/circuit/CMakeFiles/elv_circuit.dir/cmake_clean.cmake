@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elv_circuit.dir/builders.cpp.o"
+  "CMakeFiles/elv_circuit.dir/builders.cpp.o.d"
+  "CMakeFiles/elv_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/elv_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/elv_circuit.dir/clifford_replica.cpp.o"
+  "CMakeFiles/elv_circuit.dir/clifford_replica.cpp.o.d"
+  "CMakeFiles/elv_circuit.dir/gate.cpp.o"
+  "CMakeFiles/elv_circuit.dir/gate.cpp.o.d"
+  "CMakeFiles/elv_circuit.dir/serialize.cpp.o"
+  "CMakeFiles/elv_circuit.dir/serialize.cpp.o.d"
+  "libelv_circuit.a"
+  "libelv_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elv_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elv_common.dir/logging.cpp.o"
+  "CMakeFiles/elv_common.dir/logging.cpp.o.d"
+  "CMakeFiles/elv_common.dir/rng.cpp.o"
+  "CMakeFiles/elv_common.dir/rng.cpp.o.d"
+  "CMakeFiles/elv_common.dir/statistics.cpp.o"
+  "CMakeFiles/elv_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/elv_common.dir/table.cpp.o"
+  "CMakeFiles/elv_common.dir/table.cpp.o.d"
+  "libelv_common.a"
+  "libelv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

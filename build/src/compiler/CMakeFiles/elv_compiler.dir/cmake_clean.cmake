@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elv_compiler.dir/compile.cpp.o"
+  "CMakeFiles/elv_compiler.dir/compile.cpp.o.d"
+  "CMakeFiles/elv_compiler.dir/passes.cpp.o"
+  "CMakeFiles/elv_compiler.dir/passes.cpp.o.d"
+  "CMakeFiles/elv_compiler.dir/sabre.cpp.o"
+  "CMakeFiles/elv_compiler.dir/sabre.cpp.o.d"
+  "libelv_compiler.a"
+  "libelv_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elv_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

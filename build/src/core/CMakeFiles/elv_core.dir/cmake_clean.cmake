@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elv_core.dir/candidate_gen.cpp.o"
+  "CMakeFiles/elv_core.dir/candidate_gen.cpp.o.d"
+  "CMakeFiles/elv_core.dir/cnr.cpp.o"
+  "CMakeFiles/elv_core.dir/cnr.cpp.o.d"
+  "CMakeFiles/elv_core.dir/expressibility.cpp.o"
+  "CMakeFiles/elv_core.dir/expressibility.cpp.o.d"
+  "CMakeFiles/elv_core.dir/repcap.cpp.o"
+  "CMakeFiles/elv_core.dir/repcap.cpp.o.d"
+  "CMakeFiles/elv_core.dir/search.cpp.o"
+  "CMakeFiles/elv_core.dir/search.cpp.o.d"
+  "libelv_core.a"
+  "libelv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elv_device.dir/device.cpp.o"
+  "CMakeFiles/elv_device.dir/device.cpp.o.d"
+  "CMakeFiles/elv_device.dir/topology.cpp.o"
+  "CMakeFiles/elv_device.dir/topology.cpp.o.d"
+  "libelv_device.a"
+  "libelv_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elv_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

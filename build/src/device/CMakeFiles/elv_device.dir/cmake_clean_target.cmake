@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelv_device.a"
+)

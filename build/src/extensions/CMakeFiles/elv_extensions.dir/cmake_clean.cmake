@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elv_extensions.dir/qtnvqc.cpp.o"
+  "CMakeFiles/elv_extensions.dir/qtnvqc.cpp.o.d"
+  "CMakeFiles/elv_extensions.dir/quantumnat.cpp.o"
+  "CMakeFiles/elv_extensions.dir/quantumnat.cpp.o.d"
+  "libelv_extensions.a"
+  "libelv_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elv_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elv_noise.dir/channels.cpp.o"
+  "CMakeFiles/elv_noise.dir/channels.cpp.o.d"
+  "CMakeFiles/elv_noise.dir/noise_model.cpp.o"
+  "CMakeFiles/elv_noise.dir/noise_model.cpp.o.d"
+  "libelv_noise.a"
+  "libelv_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elv_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qml/classifier.cpp" "src/qml/CMakeFiles/elv_qml.dir/classifier.cpp.o" "gcc" "src/qml/CMakeFiles/elv_qml.dir/classifier.cpp.o.d"
+  "/root/repo/src/qml/dataset.cpp" "src/qml/CMakeFiles/elv_qml.dir/dataset.cpp.o" "gcc" "src/qml/CMakeFiles/elv_qml.dir/dataset.cpp.o.d"
+  "/root/repo/src/qml/diagnostics.cpp" "src/qml/CMakeFiles/elv_qml.dir/diagnostics.cpp.o" "gcc" "src/qml/CMakeFiles/elv_qml.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/qml/optimizer.cpp" "src/qml/CMakeFiles/elv_qml.dir/optimizer.cpp.o" "gcc" "src/qml/CMakeFiles/elv_qml.dir/optimizer.cpp.o.d"
+  "/root/repo/src/qml/pca.cpp" "src/qml/CMakeFiles/elv_qml.dir/pca.cpp.o" "gcc" "src/qml/CMakeFiles/elv_qml.dir/pca.cpp.o.d"
+  "/root/repo/src/qml/synthetic.cpp" "src/qml/CMakeFiles/elv_qml.dir/synthetic.cpp.o" "gcc" "src/qml/CMakeFiles/elv_qml.dir/synthetic.cpp.o.d"
+  "/root/repo/src/qml/trainer.cpp" "src/qml/CMakeFiles/elv_qml.dir/trainer.cpp.o" "gcc" "src/qml/CMakeFiles/elv_qml.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/elv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/elv_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

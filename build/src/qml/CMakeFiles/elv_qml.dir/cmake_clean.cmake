@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elv_qml.dir/classifier.cpp.o"
+  "CMakeFiles/elv_qml.dir/classifier.cpp.o.d"
+  "CMakeFiles/elv_qml.dir/dataset.cpp.o"
+  "CMakeFiles/elv_qml.dir/dataset.cpp.o.d"
+  "CMakeFiles/elv_qml.dir/diagnostics.cpp.o"
+  "CMakeFiles/elv_qml.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/elv_qml.dir/optimizer.cpp.o"
+  "CMakeFiles/elv_qml.dir/optimizer.cpp.o.d"
+  "CMakeFiles/elv_qml.dir/pca.cpp.o"
+  "CMakeFiles/elv_qml.dir/pca.cpp.o.d"
+  "CMakeFiles/elv_qml.dir/synthetic.cpp.o"
+  "CMakeFiles/elv_qml.dir/synthetic.cpp.o.d"
+  "CMakeFiles/elv_qml.dir/trainer.cpp.o"
+  "CMakeFiles/elv_qml.dir/trainer.cpp.o.d"
+  "libelv_qml.a"
+  "libelv_qml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elv_qml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

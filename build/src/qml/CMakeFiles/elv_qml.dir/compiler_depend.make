@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for elv_qml.
+# This may be replaced when dependencies are built.

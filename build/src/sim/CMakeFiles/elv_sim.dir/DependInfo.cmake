@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/density_matrix.cpp" "src/sim/CMakeFiles/elv_sim.dir/density_matrix.cpp.o" "gcc" "src/sim/CMakeFiles/elv_sim.dir/density_matrix.cpp.o.d"
+  "/root/repo/src/sim/gradients.cpp" "src/sim/CMakeFiles/elv_sim.dir/gradients.cpp.o" "gcc" "src/sim/CMakeFiles/elv_sim.dir/gradients.cpp.o.d"
+  "/root/repo/src/sim/observable.cpp" "src/sim/CMakeFiles/elv_sim.dir/observable.cpp.o" "gcc" "src/sim/CMakeFiles/elv_sim.dir/observable.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/sim/CMakeFiles/elv_sim.dir/statevector.cpp.o" "gcc" "src/sim/CMakeFiles/elv_sim.dir/statevector.cpp.o.d"
+  "/root/repo/src/sim/unitaries.cpp" "src/sim/CMakeFiles/elv_sim.dir/unitaries.cpp.o" "gcc" "src/sim/CMakeFiles/elv_sim.dir/unitaries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/elv_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elv_sim.dir/density_matrix.cpp.o"
+  "CMakeFiles/elv_sim.dir/density_matrix.cpp.o.d"
+  "CMakeFiles/elv_sim.dir/gradients.cpp.o"
+  "CMakeFiles/elv_sim.dir/gradients.cpp.o.d"
+  "CMakeFiles/elv_sim.dir/observable.cpp.o"
+  "CMakeFiles/elv_sim.dir/observable.cpp.o.d"
+  "CMakeFiles/elv_sim.dir/statevector.cpp.o"
+  "CMakeFiles/elv_sim.dir/statevector.cpp.o.d"
+  "CMakeFiles/elv_sim.dir/unitaries.cpp.o"
+  "CMakeFiles/elv_sim.dir/unitaries.cpp.o.d"
+  "libelv_sim.a"
+  "libelv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

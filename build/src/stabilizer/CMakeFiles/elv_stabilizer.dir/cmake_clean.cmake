@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elv_stabilizer.dir/tableau.cpp.o"
+  "CMakeFiles/elv_stabilizer.dir/tableau.cpp.o.d"
+  "libelv_stabilizer.a"
+  "libelv_stabilizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elv_stabilizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qml.dir/test_qml.cpp.o"
+  "CMakeFiles/test_qml.dir/test_qml.cpp.o.d"
+  "test_qml"
+  "test_qml.pdb"
+  "test_qml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
