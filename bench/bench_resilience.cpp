@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Resilient-execution characterization: how much injected backend
+ * failure the search absorbs before its outcome changes, and what the
+ * absorption costs in retries and simulated wait time.
+ *
+ * Sweeps the transient-fault rate for a fixed search (moons, IBM Lagos)
+ * and reports retry/degradation counters plus whether the selected
+ * circuit still matches the fault-free run. A second table drives the
+ * degradation ladder directly by making one backend fail permanently.
+ */
+#include <cstdio>
+
+#include "circuit/serialize.hpp"
+#include "common/table.hpp"
+#include "core/search.hpp"
+#include "device/device.hpp"
+#include "qml/synthetic.hpp"
+
+int
+main()
+{
+    using namespace elv;
+
+    const qml::Benchmark bench = qml::make_benchmark("moons", 7, 0.1);
+    const dev::Device device = dev::make_device("ibm_lagos");
+
+    core::ElivagarConfig config;
+    config.num_candidates = 16;
+    config.candidate.num_qubits = 4;
+    config.candidate.num_params = 12;
+    config.candidate.num_embeds = 4;
+    config.candidate.num_meas = 1;
+    config.candidate.num_features = bench.spec.dim;
+    config.cnr.num_replicas = 6;
+    config.repcap.samples_per_class = 4;
+    config.repcap.param_inits = 2;
+    config.seed = 42;
+    config.resilience.enabled = true;
+    config.resilience.retry.max_attempts = 8;
+
+    const core::SearchResult clean =
+        core::elivagar_search(device, bench.train, config);
+    const std::string clean_best = circ::to_text(clean.best_circuit);
+
+    Table sweep("Search under injected transient faults "
+                "(moons / ibm_lagos, 16 candidates)");
+    sweep.set_header({"fault rate", "faults", "retries", "degraded",
+                      "sim wait (s)", "best unchanged"});
+    for (double rate : {0.0, 0.1, 0.2, 0.4, 0.6}) {
+        core::ElivagarConfig faulty = config;
+        faulty.resilience.faults.transient_rate = rate;
+        const core::SearchResult result =
+            core::elivagar_search(device, bench.train, faulty);
+        sweep.add_row(
+            {Table::fmt(rate, 2),
+             std::to_string(result.fault_counters.total()),
+             std::to_string(result.exec_counters.retries),
+             std::to_string(result.degraded_candidates),
+             Table::fmt(result.simulated_wait_ms / 1000.0, 1),
+             circ::to_text(result.best_circuit) == clean_best ? "yes"
+                                                              : "no"});
+    }
+    sweep.print();
+
+    Table ladder("\nDegradation ladder: one backend failing "
+                 "permanently");
+    ladder.set_header({"failing backend", "degraded candidates",
+                       "rungs exhausted", "best unchanged"});
+    for (const auto target : {exec::FaultTarget::Density,
+                              exec::FaultTarget::Stabilizer}) {
+        core::ElivagarConfig broken = config;
+        broken.resilience.retry.max_attempts = 2;
+        broken.resilience.faults.transient_rate = 1.0;
+        broken.resilience.faults.target = target;
+        const core::SearchResult result =
+            core::elivagar_search(device, bench.train, broken);
+        ladder.add_row(
+            {target == exec::FaultTarget::Density ? "density"
+                                                  : "stabilizer",
+             std::to_string(result.degraded_candidates) + "/" +
+                 std::to_string(config.num_candidates),
+             std::to_string(result.exec_counters.rungs_exhausted),
+             circ::to_text(result.best_circuit) == clean_best ? "yes"
+                                                              : "no"});
+    }
+    ladder.print();
+
+    std::printf(
+        "\nShape check: moderate fault rates are absorbed by retries "
+        "(same best circuit,\nzero degraded candidates); a permanently "
+        "failing density backend pushes every\nCNR call down the "
+        "ladder, which changes CNR values but keeps the search "
+        "alive.\nA failing stabilizer backend is invisible here because "
+        "density is primary.\n");
+    return 0;
+}

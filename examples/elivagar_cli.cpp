@@ -34,6 +34,8 @@ struct CliOptions
     std::uint64_t seed = 7;
     double scale = 0.3;
     std::string emit; // "", "text" or "qasm"
+    std::string checkpoint;
+    double fault_rate = 0.0;
 };
 
 void
@@ -48,6 +50,10 @@ print_usage()
         "  --seed N           search/data seed (default 7)\n"
         "  --scale F          dataset scale in (0,1] (default 0.3)\n"
         "  --emit text|qasm   print the selected circuit\n"
+        "  --checkpoint PATH  journal the search; resumes if PATH "
+        "exists\n"
+        "  --fault-rate F     inject transient backend faults with "
+        "probability F\n"
         "  --list             list benchmarks and devices, then exit\n");
 }
 
@@ -76,6 +82,10 @@ parse(int argc, char **argv, CliOptions &options)
             options.scale = std::atof(value());
         else if (arg == "--emit")
             options.emit = value();
+        else if (arg == "--checkpoint")
+            options.checkpoint = value();
+        else if (arg == "--fault-rate")
+            options.fault_rate = std::atof(value());
         else if (arg == "--list") {
             std::printf("benchmarks:");
             for (const auto &spec : elv::qml::benchmark_table())
@@ -124,15 +134,32 @@ main(int argc, char **argv)
         config.candidate.num_meas = bench.spec.meas;
         config.candidate.num_features = bench.spec.dim;
         config.seed = options.seed;
+        config.resilience.checkpoint_path = options.checkpoint;
+        if (options.fault_rate > 0.0) {
+            config.resilience.enabled = true;
+            config.resilience.faults.transient_rate = options.fault_rate;
+            config.resilience.retry.max_attempts = 8;
+        }
 
         const auto found =
             core::elivagar_search(device, bench.train, config);
         std::printf("search: %d survivors of %d candidates, score "
-                    "%.3f, %llu executions\n",
+                    "%.3f, %llu executions%s\n",
                     found.survivors, options.candidates,
                     found.best_score,
                     static_cast<unsigned long long>(
-                        found.total_executions()));
+                        found.total_executions()),
+                    found.resumed ? " (resumed from checkpoint)" : "");
+        if (config.resilience.enabled)
+            std::printf("resilience: %llu faults injected, %llu "
+                        "retries, %d degraded candidates, %.1f s "
+                        "simulated wait\n",
+                        static_cast<unsigned long long>(
+                            found.fault_counters.total()),
+                        static_cast<unsigned long long>(
+                            found.exec_counters.retries),
+                        found.degraded_candidates,
+                        found.simulated_wait_ms / 1000.0);
 
         qml::TrainConfig tc;
         tc.epochs = options.epochs;
@@ -170,6 +197,10 @@ main(int argc, char **argv)
     } catch (const UsageError &error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         print_usage();
+        return 1;
+    } catch (const std::exception &error) {
+        // e.g. every execution backend exhausted under --fault-rate.
+        std::fprintf(stderr, "error: %s\n", error.what());
         return 1;
     }
 }

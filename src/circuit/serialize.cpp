@@ -211,6 +211,48 @@ from_text(const std::string &text)
     return circuit;
 }
 
+std::string
+to_text_line(const Circuit &circuit)
+{
+    const std::string text = to_text(circuit);
+    std::string line;
+    line.reserve(text.size() + 8);
+    for (char c : text) {
+        if (c == '\\')
+            line += "\\\\";
+        else if (c == '\n')
+            line += "\\n";
+        else
+            line += c;
+    }
+    return line;
+}
+
+Circuit
+from_text_line(const std::string &line)
+{
+    std::string text;
+    text.reserve(line.size());
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] != '\\') {
+            text += line[i];
+            continue;
+        }
+        if (i + 1 >= line.size())
+            elv::fatal("malformed circuit line: trailing backslash");
+        ++i;
+        if (line[i] == '\\')
+            text += '\\';
+        else if (line[i] == 'n')
+            text += '\n';
+        else
+            elv::fatal(std::string("malformed circuit line: bad escape "
+                                   "'\\") +
+                       line[i] + "'");
+    }
+    return from_text(text);
+}
+
 std::ostream &
 operator<<(std::ostream &os, const Circuit &circuit)
 {

@@ -44,6 +44,16 @@ std::string to_text(const Circuit &circuit);
 /** Parse the native text format; throws UsageError on malformed input. */
 Circuit from_text(const std::string &text);
 
+/**
+ * Native text format flattened onto a single line (newlines escaped as
+ * "\n", backslashes as "\\"), for embedding circuits in line-oriented
+ * journals such as the search checkpoint.
+ */
+std::string to_text_line(const Circuit &circuit);
+
+/** Parse the single-line escaped form produced by to_text_line. */
+Circuit from_text_line(const std::string &line);
+
 /** Convenience: stream a circuit as native text. */
 std::ostream &operator<<(std::ostream &os, const Circuit &circuit);
 

@@ -1,0 +1,54 @@
+#include "common/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace elv {
+
+void
+RetryPolicy::check() const
+{
+    if (max_attempts < 1)
+        fatal("retry policy needs max_attempts >= 1");
+    if (initial_backoff_ms < 0.0 || max_backoff_ms < 0.0)
+        fatal("retry backoff delays must be non-negative");
+    if (backoff_multiplier < 1.0)
+        fatal("retry backoff multiplier must be >= 1");
+    if (jitter < 0.0 || jitter > 1.0)
+        fatal("retry jitter must lie in [0, 1]");
+    if (call_deadline_ms < 0.0 || total_budget_ms < 0.0)
+        fatal("retry deadlines must be non-negative");
+}
+
+double
+RetryPolicy::backoff_delay_ms(int retry_index, Rng &rng) const
+{
+    ELV_REQUIRE(retry_index >= 0, "negative retry index");
+    double nominal = initial_backoff_ms *
+                     std::pow(backoff_multiplier,
+                              static_cast<double>(retry_index));
+    nominal = std::min(nominal, max_backoff_ms);
+    // Full-jitter style: uniform in nominal * [1 - jitter, 1 + jitter],
+    // so concurrent clients do not retry in lockstep.
+    const double factor = 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
+    return std::max(0.0, nominal * factor);
+}
+
+RetryCounters &
+RetryCounters::operator+=(const RetryCounters &other)
+{
+    calls += other.calls;
+    attempts += other.attempts;
+    failures += other.failures;
+    retries += other.retries;
+    invalid_results += other.invalid_results;
+    rungs_exhausted += other.rungs_exhausted;
+    degraded_calls += other.degraded_calls;
+    backoff_wait_ms += other.backoff_wait_ms;
+    queue_wait_ms += other.queue_wait_ms;
+    return *this;
+}
+
+} // namespace elv

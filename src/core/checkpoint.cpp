@@ -1,0 +1,240 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "circuit/serialize.hpp"
+#include "common/logging.hpp"
+
+namespace elv::core {
+
+std::string
+double_to_hex(double value)
+{
+    // Hexfloat survives the text round-trip bit-exactly, which is what
+    // makes a resumed ranking identical to an uninterrupted one.
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%a", value);
+    return buffer;
+}
+
+double
+double_from_hex(const std::string &text)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        elv::fatal("journal: bad numeric field '" + text + "'");
+    return value;
+}
+
+SearchJournal::SearchJournal(std::string path, std::uint64_t fingerprint)
+    : path_(std::move(path)), fingerprint_(fingerprint)
+{
+    ELV_REQUIRE(!path_.empty(), "journal needs a path");
+}
+
+CheckpointEntry &
+SearchJournal::slot(int index)
+{
+    return entries_[index];
+}
+
+const CheckpointEntry *
+SearchJournal::entry(int index) const
+{
+    const auto it = entries_.find(index);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool
+SearchJournal::parse_record(const std::string &line)
+{
+    std::istringstream ls(line);
+    std::string keyword;
+    int index = -1;
+    ls >> keyword >> index;
+    if (index < 0)
+        return false;
+    if (keyword == "cand") {
+        // The circuit text itself contains spaces; take the whole
+        // remainder of the line.
+        std::string circuit_line;
+        std::getline(ls >> std::ws, circuit_line);
+        if (circuit_line.empty())
+            return false;
+        // Parse now so a truncated/corrupt circuit fails at load, not
+        // mid-search.
+        try {
+            circ::from_text_line(circuit_line);
+        } catch (const elv::UsageError &) {
+            return false;
+        }
+        slot(index).circuit_line = std::move(circuit_line);
+        return true;
+    }
+    if (keyword == "cnr") {
+        // Every field must extract: a record torn mid-write would
+        // otherwise load a wrong value or drop its execution count.
+        std::string value;
+        std::uint64_t executions = 0, retries = 0;
+        int degraded = 0;
+        if (!(ls >> value >> executions >> degraded >> retries))
+            return false;
+        CheckpointEntry &e = slot(index);
+        e.has_cnr = true;
+        e.cnr = double_from_hex(value);
+        e.cnr_executions = executions;
+        e.degraded = degraded != 0;
+        e.retries = retries;
+        return true;
+    }
+    if (keyword == "repcap") {
+        std::string value;
+        std::uint64_t executions = 0;
+        if (!(ls >> value >> executions))
+            return false;
+        CheckpointEntry &e = slot(index);
+        e.has_repcap = true;
+        e.repcap = double_from_hex(value);
+        e.repcap_executions = executions;
+        return true;
+    }
+    if (keyword == "rank") {
+        // Audit record; the ranking is recomputed on resume.
+        std::string score;
+        int rejected = 0;
+        return static_cast<bool>(ls >> score >> rejected);
+    }
+    return false;
+}
+
+bool
+SearchJournal::load()
+{
+    std::ifstream in(path_, std::ios::binary);
+    if (!in)
+        return false;
+
+    std::string line;
+    if (!std::getline(in, line) || line != "elv-search-journal 1")
+        elv::fatal("journal " + path_ + ": missing header");
+    if (!std::getline(in, line))
+        elv::fatal("journal " + path_ + ": missing fingerprint");
+    {
+        std::istringstream ls(line);
+        std::string keyword, hex;
+        ls >> keyword >> hex;
+        if (keyword != "fingerprint" || hex.empty())
+            elv::fatal("journal " + path_ + ": bad fingerprint line");
+        const std::uint64_t seen =
+            std::strtoull(hex.c_str(), nullptr, 16);
+        if (seen != fingerprint_)
+            elv::fatal("journal " + path_ +
+                       " was written by a different search "
+                       "configuration; refusing to resume from it");
+    }
+
+    // A crash can tear the record in flight, so a malformed FINAL line
+    // is an expected artifact: drop it (and truncate it away so later
+    // loads stay clean). A malformed line anywhere else is corruption.
+    std::streampos line_start = in.tellg();
+    std::streampos torn_at(-1);
+    while (std::getline(in, line)) {
+        // getline on the unterminated final line still extracts it.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (!line.empty() && !parse_record(line)) {
+            const std::string bad = line;
+            torn_at = line_start;
+            if (std::getline(in, line))
+                elv::fatal("journal " + path_ + ": corrupt record '" +
+                           bad + "'");
+            break;
+        }
+        line_start = in.tellg();
+    }
+    in.close();
+    if (torn_at >= std::streampos(0)) {
+        elv::warn("journal " + path_ +
+                  ": dropping record torn by an interrupted write");
+        std::filesystem::resize_file(
+            path_, static_cast<std::uintmax_t>(torn_at));
+    }
+    header_written_ = true;
+    return !entries_.empty();
+}
+
+void
+SearchJournal::append(const std::string &line, bool with_header)
+{
+    // Open-append-close per record: the line is on disk (and the
+    // descriptor flushed) before the search advances, so a crash loses
+    // at most the stage in flight.
+    std::ofstream out(path_, std::ios::app);
+    if (!out)
+        elv::fatal("cannot open journal " + path_ + " for appending");
+    if (with_header && !header_written_) {
+        char hex[32];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(fingerprint_));
+        out << "elv-search-journal 1\n";
+        out << "fingerprint " << hex << "\n";
+        header_written_ = true;
+    }
+    out << line << "\n";
+    out.flush();
+    if (!out)
+        elv::fatal("failed to append to journal " + path_);
+}
+
+void
+SearchJournal::record_candidate(int index, const circ::Circuit &circuit)
+{
+    std::string line = circ::to_text_line(circuit);
+    append("cand " + std::to_string(index) + " " + line, true);
+    slot(index).circuit_line = std::move(line);
+}
+
+void
+SearchJournal::record_cnr(int index, double cnr,
+                          std::uint64_t executions, bool degraded,
+                          std::uint64_t retries)
+{
+    append("cnr " + std::to_string(index) + " " + double_to_hex(cnr) +
+               " " + std::to_string(executions) + " " +
+               (degraded ? "1" : "0") + " " + std::to_string(retries),
+           true);
+    CheckpointEntry &e = slot(index);
+    e.has_cnr = true;
+    e.cnr = cnr;
+    e.cnr_executions = executions;
+    e.degraded = degraded;
+    e.retries = retries;
+}
+
+void
+SearchJournal::record_repcap(int index, double repcap,
+                             std::uint64_t executions)
+{
+    append("repcap " + std::to_string(index) + " " +
+               double_to_hex(repcap) + " " + std::to_string(executions),
+           true);
+    CheckpointEntry &e = slot(index);
+    e.has_repcap = true;
+    e.repcap = repcap;
+    e.repcap_executions = executions;
+}
+
+void
+SearchJournal::record_rank(int index, double score, bool rejected)
+{
+    append("rank " + std::to_string(index) + " " + double_to_hex(score) +
+               " " + (rejected ? "1" : "0"),
+           true);
+}
+
+} // namespace elv::core

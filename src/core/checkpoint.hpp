@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Crash-safe journaling for the Elivagar search.
+ *
+ * The search appends one line per completed per-candidate stage to a
+ * checkpoint file (flushed immediately, append-only), so a crash —
+ * process kill, backend meltdown, injected CrashError — loses at most
+ * the stage in flight. A resumed search with the same configuration
+ * replays the journal: already-evaluated candidates keep their recorded
+ * CNR/RepCap values (and execution/retry accounting), unevaluated ones
+ * are computed, and because every stage draws from a per-candidate
+ * seeded RNG the final ranking is bit-identical to an uninterrupted
+ * run.
+ *
+ * File format (line-oriented, hexfloat for exact double round-trips):
+ *
+ *   elv-search-journal 1
+ *   fingerprint <hex64>          # hash of the search configuration
+ *   cand <idx> <escaped circuit> # written after generation
+ *   cnr <idx> <hexfloat> <execs> <degraded> <retries>
+ *   repcap <idx> <hexfloat> <execs>
+ *   rank <idx> <score hexfloat> <rejected> # audit only, not replayed
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace elv::core {
+
+/** Journaled per-candidate evaluation state. */
+struct CheckpointEntry
+{
+    /** Circuit text (single-line escaped form), "" until journaled. */
+    std::string circuit_line;
+    bool has_cnr = false;
+    double cnr = 0.0;
+    std::uint64_t cnr_executions = 0;
+    bool degraded = false;
+    std::uint64_t retries = 0;
+    bool has_repcap = false;
+    double repcap = 0.0;
+    std::uint64_t repcap_executions = 0;
+};
+
+/** Append-only search journal with resume support. */
+class SearchJournal
+{
+  public:
+    /**
+     * @param path journal file (created on first record)
+     * @param fingerprint configuration hash; a journal written under a
+     *        different configuration is rejected with fatal(), never
+     *        silently merged
+     */
+    SearchJournal(std::string path, std::uint64_t fingerprint);
+
+    /**
+     * Load an existing journal. Returns true when entries were
+     * recovered; false when the file does not exist yet. fatal() on a
+     * malformed file or a fingerprint mismatch.
+     */
+    bool load();
+
+    /** Entry for a candidate, or null when nothing is journaled. */
+    const CheckpointEntry *entry(int index) const;
+
+    /** @name Stage records (append + flush immediately) @{ */
+    void record_candidate(int index, const circ::Circuit &circuit);
+    void record_cnr(int index, double cnr, std::uint64_t executions,
+                    bool degraded, std::uint64_t retries);
+    void record_repcap(int index, double repcap,
+                       std::uint64_t executions);
+    void record_rank(int index, double score, bool rejected);
+    /** @} */
+
+    /** Number of candidates with at least the generation stage. */
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    void append(const std::string &line, bool with_header);
+    /** Parse one record line; false = malformed (e.g. torn write). */
+    bool parse_record(const std::string &line);
+    CheckpointEntry &slot(int index);
+
+    std::string path_;
+    std::uint64_t fingerprint_;
+    bool header_written_ = false;
+    std::map<int, CheckpointEntry> entries_;
+};
+
+/** Exact double <-> text helpers (hexfloat, bit-preserving). */
+std::string double_to_hex(double value);
+double double_from_hex(const std::string &text);
+
+} // namespace elv::core

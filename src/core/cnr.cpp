@@ -1,13 +1,18 @@
 #include "core/cnr.hpp"
 
+#include <memory>
+
 #include "circuit/clifford_replica.hpp"
 #include "common/logging.hpp"
-#include "common/statistics.hpp"
-#include "noise/noise_model.hpp"
-#include "sim/statevector.hpp"
-#include "stabilizer/tableau.hpp"
 
 namespace elv::core {
+
+exec::BackendKind
+cnr_backend_kind(CnrBackend backend)
+{
+    return backend == CnrBackend::Density ? exec::BackendKind::Density
+                                          : exec::BackendKind::Stabilizer;
+}
 
 CnrResult
 clifford_noise_resilience(const circ::Circuit &circuit,
@@ -17,33 +22,32 @@ clifford_noise_resilience(const circ::Circuit &circuit,
     ELV_REQUIRE(options.num_replicas >= 1, "need at least one replica");
     CnrResult result;
 
-    const noise::NoisyDensitySimulator noisy_sim(device,
-                                                 options.noise_scale);
+    // Route every replica execution through the exec layer: the
+    // caller's executor when provided (resilient, fault-injected, ...),
+    // otherwise a plain backend matching the configured CnrBackend.
+    std::unique_ptr<exec::Executor> owned;
+    exec::Executor *executor = options.executor;
+    if (!executor) {
+        if (options.backend == CnrBackend::Density)
+            owned = std::make_unique<exec::DensityExecutor>(
+                device, options.noise_scale);
+        else
+            owned = std::make_unique<exec::StabilizerExecutor>(
+                device, options.shots, options.noise_scale);
+        executor = owned.get();
+    }
 
     double fidelity_sum = 0.0;
     for (int m = 0; m < options.num_replicas; ++m) {
         const circ::Circuit replica =
             circ::make_clifford_replica(circuit, rng);
-
-        if (options.backend == CnrBackend::Density) {
-            fidelity_sum += noisy_sim.fidelity(replica);
-        } else {
-            std::vector<int> kept;
-            const circ::Circuit local = replica.compacted(kept);
-            // Noiseless side: stabilizer sampling (efficient at any
-            // size). Noisy side: stochastic Pauli injection.
-            elv::Rng ideal_rng = rng.split();
-            const auto ideal = stab::sample_distribution(
-                local, options.shots, ideal_rng);
-            const noise::DevicePauliNoise hook(device, kept,
-                                               options.noise_scale);
-            elv::Rng noisy_rng = rng.split();
-            const auto noisy = stab::sample_distribution(
-                local, options.shots, noisy_rng, &hook);
-            fidelity_sum +=
-                1.0 - elv::total_variation_distance(ideal, noisy);
-        }
+        fidelity_sum += executor->replica_fidelity(replica, rng);
         ++result.circuit_executions;
+        if (const exec::CallReport *report = executor->last_report()) {
+            result.degraded |= report->degraded;
+            result.retries +=
+                static_cast<std::uint64_t>(report->retries);
+        }
     }
 
     result.cnr = fidelity_sum / options.num_replicas;

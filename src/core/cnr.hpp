@@ -10,6 +10,12 @@
  * side costs M device executions — constant in the dataset size, which
  * is what makes early rejection cheap compared to validation-set
  * performance evaluation.
+ *
+ * Replica executions are routed through the exec layer: by default a
+ * plain executor matching `CnrOptions::backend`, or — when the caller
+ * supplies one — a resilient executor with retry/backoff and a
+ * degradation ladder, in which case the result records whether any
+ * replica was serviced by a fallback backend.
  */
 #pragma once
 
@@ -18,6 +24,7 @@
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
 #include "device/device.hpp"
+#include "exec/executor.hpp"
 
 namespace elv::core {
 
@@ -29,6 +36,9 @@ enum class CnrBackend {
     Stabilizer,
 };
 
+/** The exec-layer backend corresponding to a CnrBackend. */
+exec::BackendKind cnr_backend_kind(CnrBackend backend);
+
 /** CNR evaluation options (paper defaults: 16-32 replicas). */
 struct CnrOptions
 {
@@ -38,6 +48,12 @@ struct CnrOptions
     int shots = 2048;
     /** Multiplies device error rates (ablation knob). */
     double noise_scale = 1.0;
+    /**
+     * Route executions through this executor instead of building a
+     * plain one from `backend` (non-owning; e.g. a ResilientExecutor
+     * with fault injection / degradation). Null = plain execution.
+     */
+    exec::Executor *executor = nullptr;
 };
 
 /** CNR value plus cost accounting. */
@@ -46,6 +62,10 @@ struct CnrResult
     double cnr = 0.0;
     /** Device-style circuit executions consumed (= replicas). */
     std::uint64_t circuit_executions = 0;
+    /** True when any replica was serviced by a fallback backend. */
+    bool degraded = false;
+    /** Retries spent across all replica executions. */
+    std::uint64_t retries = 0;
 };
 
 /**

@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "common/statistics.hpp"
+#include "common/validate.hpp"
 #include "sim/statevector.hpp"
 #include "sim/unitaries.hpp"
 
@@ -75,7 +76,13 @@ representational_capacity(const circ::Circuit &circuit,
                 sim::StateVector rotated = psi;
                 for (std::size_t m = 0; m < measured.size(); ++m)
                     rotated.apply_1q(basis[m], measured[m]);
-                dists.push_back(rotated.probabilities(measured));
+                auto probs = rotated.probabilities(measured);
+                // Guard the similarity estimate against numerical decay
+                // of the rotated state (NaN poisons the whole matrix).
+                elv::validate_distribution(
+                    probs, elv::DistributionPolicy::Renormalize,
+                    "RepCap randomized measurement");
+                dists.push_back(std::move(probs));
             }
 
             for (std::size_t i = 0; i < d; ++i) {

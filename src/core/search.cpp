@@ -2,10 +2,85 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "circuit/serialize.hpp"
 #include "common/logging.hpp"
+#include "core/checkpoint.hpp"
+#include "exec/resilient.hpp"
 
 namespace elv::core {
+
+namespace {
+
+/** splitmix64 finalizer — decorrelates structured seed inputs. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Independent RNG seed per (stage, candidate). Per-candidate streams
+ * make evaluations order-independent, which is what lets a resumed
+ * search skip journaled candidates yet reproduce the uninterrupted
+ * run's remaining values bit-exactly.
+ */
+std::uint64_t
+stage_seed(std::uint64_t seed, std::uint64_t stage, std::uint64_t index)
+{
+    return mix64(seed ^ mix64(stage) ^ mix64(index + 0x5eedULL));
+}
+
+/** Mix one value into an FNV-1a style fingerprint. */
+void
+fp_mix(std::uint64_t &h, std::uint64_t value)
+{
+    h ^= mix64(value);
+    h *= 1099511628211ULL;
+}
+
+void
+fp_mix_double(std::uint64_t &h, double value)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    __builtin_memcpy(&bits, &value, sizeof(bits));
+    fp_mix(h, bits);
+}
+
+} // namespace
+
+std::uint64_t
+config_fingerprint(const ElivagarConfig &config)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    fp_mix(h, config.seed);
+    fp_mix(h, static_cast<std::uint64_t>(config.num_candidates));
+    fp_mix(h, static_cast<std::uint64_t>(config.candidate.num_qubits));
+    fp_mix(h, static_cast<std::uint64_t>(config.candidate.num_params));
+    fp_mix(h, static_cast<std::uint64_t>(config.candidate.num_embeds));
+    fp_mix(h, static_cast<std::uint64_t>(config.candidate.num_meas));
+    fp_mix(h, static_cast<std::uint64_t>(config.candidate.num_features));
+    fp_mix(h, static_cast<std::uint64_t>(config.candidate.embedding));
+    fp_mix(h, config.candidate.noise_aware ? 1 : 0);
+    fp_mix(h, static_cast<std::uint64_t>(config.candidate.subgraph_pool));
+    fp_mix(h, static_cast<std::uint64_t>(config.cnr.num_replicas));
+    fp_mix(h, static_cast<std::uint64_t>(config.cnr.backend));
+    fp_mix(h, static_cast<std::uint64_t>(config.cnr.shots));
+    fp_mix_double(h, config.cnr.noise_scale);
+    fp_mix(h, static_cast<std::uint64_t>(config.repcap.samples_per_class));
+    fp_mix(h, static_cast<std::uint64_t>(config.repcap.param_inits));
+    fp_mix(h, static_cast<std::uint64_t>(config.repcap.num_bases));
+    fp_mix_double(h, config.cnr_threshold);
+    fp_mix_double(h, config.keep_fraction);
+    fp_mix_double(h, config.alpha_cnr);
+    fp_mix(h, config.use_cnr ? 1 : 0);
+    return h;
+}
 
 SearchResult
 elivagar_search(const dev::Device &device, const qml::Dataset &train,
@@ -15,24 +90,83 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
     ELV_REQUIRE(config.keep_fraction > 0.0 && config.keep_fraction <= 1.0,
                 "bad keep fraction");
     train.check();
+    device.validate();
 
-    elv::Rng rng(config.seed ^ 0xe11a6a42ULL);
     SearchResult result;
 
-    // Step 1: candidate generation.
+    // Crash-safe journal: replay completed stages, append new ones.
+    std::unique_ptr<SearchJournal> journal;
+    if (!config.resilience.checkpoint_path.empty()) {
+        journal = std::make_unique<SearchJournal>(
+            config.resilience.checkpoint_path,
+            config_fingerprint(config));
+        result.resumed = journal->load();
+    }
+
+    // Resilient executor shared by the whole CNR stage: retry counters,
+    // the degradation ladder, and the simulated deadline budget span
+    // the run, not a single candidate.
+    std::unique_ptr<exec::ResilientExecutor> executor;
+    CnrOptions cnr_options = config.cnr;
+    if (config.resilience.enabled) {
+        executor = std::make_unique<exec::ResilientExecutor>(
+            device, cnr_backend_kind(config.cnr.backend),
+            config.cnr.shots, config.cnr.noise_scale,
+            config.resilience.retry, config.resilience.faults,
+            stage_seed(config.seed, 0xe8ec, 0));
+        cnr_options.executor = executor.get();
+    }
+
+    // Step 1: candidate generation. Cheap and fully deterministic in
+    // the seed, so a resumed search regenerates the pool and verifies
+    // it against the journal instead of trusting the file blindly.
+    elv::Rng gen_rng(config.seed ^ 0xe11a6a42ULL);
     for (int n = 0; n < config.num_candidates; ++n) {
         CandidateRecord record;
-        record.circuit = generate_candidate(device, config.candidate, rng);
+        record.circuit = generate_candidate(device, config.candidate,
+                                            gen_rng);
+        if (journal) {
+            const CheckpointEntry *entry = journal->entry(n);
+            if (entry && !entry->circuit_line.empty()) {
+                if (entry->circuit_line !=
+                    circ::to_text_line(record.circuit))
+                    elv::fatal(
+                        "journal " + config.resilience.checkpoint_path +
+                        ": candidate " + std::to_string(n) +
+                        " does not match the regenerated pool; the "
+                        "journal belongs to a different run");
+            } else {
+                journal->record_candidate(n, record.circuit);
+            }
+        }
         result.candidates.push_back(std::move(record));
     }
 
-    // Step 2: CNR for every candidate.
+    // Step 2: CNR for every candidate (replayed from the journal where
+    // possible; each candidate draws from its own seeded stream).
     if (config.use_cnr) {
-        for (auto &record : result.candidates) {
+        for (int n = 0; n < config.num_candidates; ++n) {
+            auto &record =
+                result.candidates[static_cast<std::size_t>(n)];
+            const CheckpointEntry *entry =
+                journal ? journal->entry(n) : nullptr;
+            if (entry && entry->has_cnr) {
+                record.cnr = entry->cnr;
+                record.degraded = entry->degraded;
+                record.retries = entry->retries;
+                result.cnr_executions += entry->cnr_executions;
+                continue;
+            }
+            elv::Rng cnr_rng(stage_seed(config.seed, 0xc14, n));
             const CnrResult cnr = clifford_noise_resilience(
-                record.circuit, device, rng, config.cnr);
+                record.circuit, device, cnr_rng, cnr_options);
             record.cnr = cnr.cnr;
+            record.degraded = cnr.degraded;
+            record.retries = cnr.retries;
             result.cnr_executions += cnr.circuit_executions;
+            if (journal)
+                journal->record_cnr(n, cnr.cnr, cnr.circuit_executions,
+                                    cnr.degraded, cnr.retries);
         }
 
         // Step 3: early rejection — below threshold or outside the top
@@ -67,20 +201,35 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
         }
     }
 
-    // Step 4: RepCap for the survivors only.
-    for (auto &record : result.candidates) {
+    // Step 4: RepCap for the survivors only (per-candidate streams,
+    // replayed from the journal where possible).
+    for (int n = 0; n < config.num_candidates; ++n) {
+        auto &record = result.candidates[static_cast<std::size_t>(n)];
         if (record.rejected_by_cnr)
             continue;
         ++result.survivors;
+        const CheckpointEntry *entry =
+            journal ? journal->entry(n) : nullptr;
+        if (entry && entry->has_repcap) {
+            record.repcap = entry->repcap;
+            result.repcap_executions += entry->repcap_executions;
+            continue;
+        }
+        elv::Rng rc_rng(stage_seed(config.seed, 0x2e9ca9, n));
         const RepCapResult rc = representational_capacity(
-            record.circuit, train, rng, config.repcap);
+            record.circuit, train, rc_rng, config.repcap);
         record.repcap = rc.repcap;
         result.repcap_executions += rc.circuit_executions;
+        if (journal)
+            journal->record_repcap(n, rc.repcap, rc.circuit_executions);
     }
 
     // Step 5: composite score and final selection (Eq. 7).
     const CandidateRecord *best = nullptr;
-    for (auto &record : result.candidates) {
+    for (int n = 0; n < config.num_candidates; ++n) {
+        auto &record = result.candidates[static_cast<std::size_t>(n)];
+        if (record.degraded)
+            ++result.degraded_candidates;
         if (record.rejected_by_cnr)
             continue;
         record.score = std::pow(std::max(record.cnr, 0.0),
@@ -88,10 +237,19 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
                        record.repcap;
         if (!best || record.score > best->score)
             best = &record;
+        if (journal)
+            journal->record_rank(n, record.score,
+                                 record.rejected_by_cnr);
     }
     ELV_REQUIRE(best != nullptr, "no surviving candidate");
     result.best_circuit = best->circuit;
     result.best_score = best->score;
+
+    if (executor) {
+        result.exec_counters = executor->counters();
+        result.fault_counters = executor->injected();
+        result.simulated_wait_ms = executor->elapsed_ms();
+    }
     return result;
 }
 

@@ -12,19 +12,57 @@
  *
  * Every stage tallies its circuit executions so the Table 4 resource
  * comparison is measured from the same code path.
+ *
+ * Resilience: CNR/RepCap evaluations draw from per-candidate seeded RNG
+ * streams, so evaluations are order-independent and a crash-interrupted
+ * search can resume from its checkpoint journal (SearchResilience::
+ * checkpoint_path) to a bit-identical ranking. With resilience enabled,
+ * replica executions go through a ResilientExecutor — retry with
+ * exponential backoff, per-call/per-run deadline budgets, and a
+ * Density -> Stabilizer -> Noiseless degradation ladder whose fallback
+ * use is recorded per candidate.
  */
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "core/candidate_gen.hpp"
 #include "core/cnr.hpp"
 #include "core/repcap.hpp"
 #include "device/device.hpp"
+#include "exec/fault_injector.hpp"
 #include "qml/dataset.hpp"
 
 namespace elv::core {
+
+/** Execution-resilience knobs of the search. */
+struct SearchResilience
+{
+    /**
+     * Route CNR replica executions through a ResilientExecutor (retry,
+     * backoff, degradation ladder). Off by default: plain execution,
+     * any backend failure propagates.
+     */
+    bool enabled = false;
+    /** Retry/backoff/deadline policy used when enabled. */
+    elv::RetryPolicy retry;
+    /**
+     * Injected failure modes (testing / chaos runs). Only applied when
+     * `enabled`; an all-zero config injects nothing.
+     */
+    exec::FaultConfig faults;
+    /**
+     * Checkpoint journal path; "" disables journaling. When the file
+     * already exists (same configuration fingerprint), the search
+     * resumes from it: journaled candidates keep their recorded
+     * values and only the remainder is evaluated. Works with
+     * resilience disabled too.
+     */
+    std::string checkpoint_path;
+};
 
 /** Full Elivagar configuration. */
 struct ElivagarConfig
@@ -47,6 +85,8 @@ struct ElivagarConfig
     bool use_cnr = true;
     /** Search seed. */
     std::uint64_t seed = 0;
+    /** Fault tolerance, degradation and checkpointing. */
+    SearchResilience resilience;
 };
 
 /** Per-candidate diagnostics. */
@@ -57,6 +97,13 @@ struct CandidateRecord
     double repcap = 0.0;
     double score = 0.0;
     bool rejected_by_cnr = false;
+    /**
+     * True when this candidate's CNR was serviced by a fallback backend
+     * (degradation ladder); degraded scores are auditable, not silent.
+     */
+    bool degraded = false;
+    /** Retries spent on this candidate's executions. */
+    std::uint64_t retries = 0;
 };
 
 /** Search output: the chosen circuit plus bookkeeping. */
@@ -71,6 +118,16 @@ struct SearchResult
     std::uint64_t cnr_executions = 0;
     /** Circuit executions spent on RepCap. */
     std::uint64_t repcap_executions = 0;
+    /** Candidates whose evaluation used a fallback backend. */
+    int degraded_candidates = 0;
+    /** True when journaled stages were replayed from a checkpoint. */
+    bool resumed = false;
+    /** Retry/degradation tallies (zero with resilience disabled). */
+    elv::RetryCounters exec_counters;
+    /** Faults injected by the configured FaultConfig. */
+    exec::FaultCounters fault_counters;
+    /** Simulated wall-clock lost to queue waits and backoff (ms). */
+    double simulated_wait_ms = 0.0;
 
     std::uint64_t
     total_executions() const
@@ -78,6 +135,14 @@ struct SearchResult
         return cnr_executions + repcap_executions;
     }
 };
+
+/**
+ * Fingerprint of the configuration fields that determine search
+ * results. Fault-injection and retry knobs are excluded on purpose: a
+ * run interrupted by injected faults must be resumable with the faults
+ * turned off.
+ */
+std::uint64_t config_fingerprint(const ElivagarConfig &config);
 
 /**
  * Run the Elivagar search for the QML task given by `train` on

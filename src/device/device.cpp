@@ -117,6 +117,56 @@ sample_around(std::size_t n, double median, double sigma, double lo,
 
 } // namespace
 
+void
+Device::validate() const
+{
+    const std::size_t n = static_cast<std::size_t>(num_qubits());
+    const std::size_t m = topology.edges().size();
+    const std::string who = name.empty() ? "<unnamed device>" : name;
+
+    auto check_size = [&](const std::vector<double> &values,
+                          std::size_t expected, const char *field) {
+        if (values.size() != expected)
+            elv::fatal(who + ": calibration vector '" + field +
+                       "' has " + std::to_string(values.size()) +
+                       " entries, expected " + std::to_string(expected));
+    };
+    check_size(t1_us, n, "t1_us");
+    check_size(t2_us, n, "t2_us");
+    check_size(readout_error, n, "readout_error");
+    check_size(error_1q, n, "error_1q");
+    check_size(error_2q, m, "error_2q");
+
+    auto check_time = [&](const std::vector<double> &values,
+                          const char *field) {
+        for (std::size_t q = 0; q < values.size(); ++q)
+            if (!std::isfinite(values[q]) || values[q] <= 0.0)
+                elv::fatal(who + ": " + field + "[" + std::to_string(q) +
+                           "] = " + std::to_string(values[q]) +
+                           " is not a positive finite time");
+    };
+    check_time(t1_us, "t1_us");
+    check_time(t2_us, "t2_us");
+
+    auto check_rate = [&](const std::vector<double> &values,
+                          const char *field) {
+        for (std::size_t i = 0; i < values.size(); ++i)
+            if (!std::isfinite(values[i]) || values[i] < 0.0 ||
+                values[i] > 1.0)
+                elv::fatal(who + ": " + field + "[" + std::to_string(i) +
+                           "] = " + std::to_string(values[i]) +
+                           " is not a rate in [0, 1]");
+    };
+    check_rate(readout_error, "readout_error");
+    check_rate(error_1q, "error_1q");
+    check_rate(error_2q, "error_2q");
+
+    if (!std::isfinite(duration_1q_ns) || duration_1q_ns <= 0.0 ||
+        !std::isfinite(duration_2q_ns) || duration_2q_ns <= 0.0 ||
+        !std::isfinite(duration_readout_ns) || duration_readout_ns <= 0.0)
+        elv::fatal(who + ": gate/readout durations must be positive");
+}
+
 double
 Device::edge_error(int a, int b) const
 {
@@ -176,6 +226,7 @@ make_device(const std::string &name)
                                  0.2, rng);
     dev.error_2q = sample_around(m, entry->error_2q_median, 0.3, 1e-4,
                                  0.45, rng);
+    dev.validate();
     return dev;
 }
 

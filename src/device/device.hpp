@@ -42,6 +42,17 @@ struct Device
 
     int num_qubits() const { return topology.num_qubits(); }
 
+    /**
+     * Validate the calibration snapshot: t1/t2/readout/error_1q sized
+     * to num_qubits(), error_2q sized to topology.edges(), coherence
+     * times positive and finite, all error rates in [0, 1]. Reports the
+     * first violation with a precise fatal() message instead of letting
+     * a malformed snapshot cause silent out-of-bounds reads in the
+     * noise models. Called by make_device() and by every noisy
+     * executor at construction.
+     */
+    void validate() const;
+
     /** 2-qubit error for edge (a, b); fatal if the edge is absent. */
     double edge_error(int a, int b) const;
 

@@ -1,0 +1,94 @@
+#include "exec/distribution.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/validate.hpp"
+
+namespace elv::exec {
+
+qml::DistributionFn
+faulty_distribution(qml::DistributionFn inner, const FaultConfig &config)
+{
+    auto rng = std::make_shared<elv::Rng>(config.seed);
+    return [inner = std::move(inner), config,
+            rng](const circ::Circuit &circuit,
+                 const std::vector<double> &params,
+                 const std::vector<double> &x) {
+        if (config.timeout_rate > 0.0 &&
+            rng->bernoulli(config.timeout_rate))
+            throw QueueTimeout("injected queue timeout (provider)",
+                               config.queue_wait_ms);
+        if (config.transient_rate > 0.0 &&
+            rng->bernoulli(config.transient_rate))
+            throw BackendError("injected transient failure (provider)");
+        auto probs = inner(circuit, params, x);
+        if (config.garbage_rate > 0.0 &&
+            rng->bernoulli(config.garbage_rate) && !probs.empty())
+            probs[rng->uniform_index(probs.size())] =
+                std::numeric_limits<double>::quiet_NaN();
+        return probs;
+    };
+}
+
+qml::DistributionFn
+resilient_distribution(qml::DistributionFn inner,
+                       const RetryPolicy &policy, std::uint64_t seed,
+                       std::shared_ptr<RetryCounters> counters)
+{
+    policy.check();
+    auto rng = std::make_shared<elv::Rng>(seed ^ 0x70726f76ULL);
+    return [inner = std::move(inner), policy, rng,
+            counters](const circ::Circuit &circuit,
+                      const std::vector<double> &params,
+                      const std::vector<double> &x) {
+        if (counters)
+            ++counters->calls;
+        std::string last_error;
+        double call_wait_ms = 0.0;
+        for (int a = 0; a < policy.max_attempts; ++a) {
+            if (counters)
+                ++counters->attempts;
+            try {
+                auto probs = inner(circuit, params, x);
+                elv::validate_distribution(
+                    probs, elv::DistributionPolicy::Throw,
+                    "resilient provider");
+                return probs;
+            } catch (const QueueTimeout &e) {
+                if (counters) {
+                    ++counters->failures;
+                    counters->queue_wait_ms += e.waited_ms();
+                }
+                call_wait_ms += e.waited_ms();
+                last_error = e.what();
+            } catch (const BackendError &e) {
+                if (counters)
+                    ++counters->failures;
+                last_error = e.what();
+            } catch (const elv::DistributionError &e) {
+                if (counters) {
+                    ++counters->failures;
+                    ++counters->invalid_results;
+                }
+                last_error = e.what();
+            }
+            if (a + 1 >= policy.max_attempts)
+                break;
+            if (policy.call_deadline_ms > 0.0 &&
+                call_wait_ms >= policy.call_deadline_ms)
+                break;
+            const double delay = policy.backoff_delay_ms(a, *rng);
+            call_wait_ms += delay;
+            if (counters) {
+                counters->backoff_wait_ms += delay;
+                ++counters->retries;
+            }
+        }
+        throw BackendError("distribution provider exhausted retries; "
+                           "last error: " +
+                           last_error);
+    };
+}
+
+} // namespace elv::exec

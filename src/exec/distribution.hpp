@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Resilience decorators for the qml::DistributionFn seam.
+ *
+ * The QML stack consumes distributions through qml::DistributionFn
+ * (noisy training, shot-noise evaluation, deployment). These adapters
+ * bring the execution layer's fault injection and retry/backoff to that
+ * boundary without changing any classifier/trainer signature: wrap a
+ * provider once and every downstream call is validated, retried on
+ * transient failure, and tallied.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/retry.hpp"
+#include "exec/fault_injector.hpp"
+#include "qml/classifier.hpp"
+
+namespace elv::exec {
+
+/**
+ * Inject transient/timeout/garbage faults into a distribution provider
+ * (chaos testing for training/evaluation loops). Drift and crash modes
+ * are not applicable at this seam and are ignored.
+ */
+qml::DistributionFn faulty_distribution(qml::DistributionFn inner,
+                                        const FaultConfig &config);
+
+/**
+ * Retry a distribution provider with exponential backoff + jitter
+ * (simulated waits) and validate every produced distribution. Throws
+ * BackendError once max_attempts are exhausted. When `counters` is
+ * non-null the shared tallies are updated on every call.
+ */
+qml::DistributionFn resilient_distribution(
+    qml::DistributionFn inner, const RetryPolicy &policy,
+    std::uint64_t seed,
+    std::shared_ptr<RetryCounters> counters = nullptr);
+
+} // namespace elv::exec

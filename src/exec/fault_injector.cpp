@@ -1,0 +1,160 @@
+#include "exec/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace elv::exec {
+
+bool
+FaultConfig::any() const
+{
+    return transient_rate > 0.0 || timeout_rate > 0.0 ||
+           garbage_rate > 0.0 || drift_rate > 0.0 || crash_after > 0;
+}
+
+bool
+FaultConfig::applies_to(BackendKind kind) const
+{
+    switch (target) {
+      case FaultTarget::All: return true;
+      case FaultTarget::Density: return kind == BackendKind::Density;
+      case FaultTarget::Stabilizer:
+        return kind == BackendKind::Stabilizer;
+      case FaultTarget::Noiseless: return kind == BackendKind::Noiseless;
+    }
+    return false;
+}
+
+FaultCounters &
+FaultCounters::operator+=(const FaultCounters &other)
+{
+    transient += other.transient;
+    timeouts += other.timeouts;
+    garbage += other.garbage;
+    drifts += other.drifts;
+    crashes += other.crashes;
+    return *this;
+}
+
+FaultInjector::FaultInjector(std::unique_ptr<Executor> inner,
+                             const FaultConfig &config,
+                             dev::Device *drift_target)
+    : inner_(std::move(inner)), config_(config),
+      active_(config.any() && config.applies_to(inner_->kind())),
+      drift_target_(drift_target), fault_rng_(config.seed)
+{
+    ELV_REQUIRE(inner_ != nullptr, "fault injector needs an executor");
+    if (config_.transient_rate < 0.0 || config_.transient_rate > 1.0 ||
+        config_.timeout_rate < 0.0 || config_.timeout_rate > 1.0 ||
+        config_.garbage_rate < 0.0 || config_.garbage_rate > 1.0 ||
+        config_.drift_rate < 0.0 || config_.drift_rate > 1.0)
+        elv::fatal("fault rates must lie in [0, 1]");
+}
+
+bool
+FaultInjector::supports(const circ::Circuit &circuit) const
+{
+    return inner_->supports(circuit);
+}
+
+void
+FaultInjector::apply_drift()
+{
+    ++injected_.drifts;
+    if (!drift_target_)
+        return;
+    // Perturb each calibration rate by an independent lognormal factor,
+    // clamped so the snapshot stays physical (readout confusion needs
+    // flip probabilities below 0.5).
+    auto drift = [&](std::vector<double> &rates, double hi) {
+        for (double &r : rates)
+            r = std::clamp(
+                r * std::exp(config_.drift_sigma * fault_rng_.normal()),
+                1e-6, hi);
+    };
+    drift(drift_target_->readout_error, 0.45);
+    drift(drift_target_->error_1q, 0.2);
+    drift(drift_target_->error_2q, 0.45);
+}
+
+void
+FaultInjector::before_call(const char *what)
+{
+    if (!active_)
+        return;
+    if (config_.crash_after > 0 && executions_ >= config_.crash_after) {
+        ++injected_.crashes;
+        throw CrashError(std::string("injected crash during ") + what +
+                         " (" + backend_name(kind()) + " backend)");
+    }
+    if (config_.drift_rate > 0.0 &&
+        fault_rng_.bernoulli(config_.drift_rate))
+        apply_drift();
+    if (config_.timeout_rate > 0.0 &&
+        fault_rng_.bernoulli(config_.timeout_rate)) {
+        ++injected_.timeouts;
+        throw QueueTimeout(std::string("injected queue timeout during ") +
+                               what + " (" + backend_name(kind()) +
+                               " backend)",
+                           config_.queue_wait_ms);
+    }
+    if (config_.transient_rate > 0.0 &&
+        fault_rng_.bernoulli(config_.transient_rate)) {
+        ++injected_.transient;
+        throw BackendError(std::string("injected transient failure "
+                                       "during ") +
+                           what + " (" + backend_name(kind()) +
+                           " backend)");
+    }
+}
+
+bool
+FaultInjector::draw_garbage()
+{
+    if (!active_ || config_.garbage_rate <= 0.0)
+        return false;
+    if (!fault_rng_.bernoulli(config_.garbage_rate))
+        return false;
+    ++injected_.garbage;
+    return true;
+}
+
+double
+FaultInjector::replica_fidelity(const circ::Circuit &replica,
+                                elv::Rng &rng)
+{
+    before_call("replica fidelity");
+    const double f = inner_->replica_fidelity(replica, rng);
+    ++executions_;
+    if (draw_garbage())
+        return std::numeric_limits<double>::quiet_NaN();
+    return f;
+}
+
+std::vector<double>
+FaultInjector::run_distribution(const circ::Circuit &circuit,
+                                const std::vector<double> &params,
+                                const std::vector<double> &x,
+                                elv::Rng &rng)
+{
+    before_call("distribution");
+    auto probs = inner_->run_distribution(circuit, params, x, rng);
+    ++executions_;
+    if (draw_garbage() && !probs.empty()) {
+        // Half the garbage is NaN poison, half is unnormalized mass —
+        // both must be caught by validate_distribution downstream.
+        if (fault_rng_.bernoulli(0.5)) {
+            probs[fault_rng_.uniform_index(probs.size())] =
+                std::numeric_limits<double>::quiet_NaN();
+        } else {
+            for (double &p : probs)
+                p *= 3.0;
+        }
+    }
+    return probs;
+}
+
+} // namespace elv::exec

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Seeded fault injection for the execution layer.
+ *
+ * FaultInjector decorates an Executor with the failure modes of real
+ * cloud backends: transient job failures, queue timeouts, NaN/garbage
+ * result distributions, calibration drift between executions, and (for
+ * crash-safety testing) a hard process-death after N executions. Every
+ * fault is drawn from a dedicated seeded stream, independent of the
+ * computation's randomness, so a fault-injected run that survives via
+ * retries reproduces the fault-free run's values exactly.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "exec/executor.hpp"
+
+namespace elv::exec {
+
+/** Which backends a fault configuration applies to. */
+enum class FaultTarget { All, Density, Stabilizer, Noiseless };
+
+/** Seeded failure-mode configuration (all rates are per call). */
+struct FaultConfig
+{
+    /** Probability of a transient BackendError. */
+    double transient_rate = 0.0;
+    /** Probability of a QueueTimeout. */
+    double timeout_rate = 0.0;
+    /** Simulated queue wait burned when a timeout fires (ms). */
+    double queue_wait_ms = 30000.0;
+    /** Probability of returning a NaN/garbage distribution. */
+    double garbage_rate = 0.0;
+    /** Probability of a calibration-drift event before the call. */
+    double drift_rate = 0.0;
+    /** Lognormal sigma of the per-rate drift factor. */
+    double drift_sigma = 0.2;
+    /**
+     * Throw CrashError once this many executions succeeded (0 = never).
+     * Simulates the process dying mid-search; exercised by the
+     * checkpoint/resume tests.
+     */
+    std::uint64_t crash_after = 0;
+    /** Restrict injection to one backend kind. */
+    FaultTarget target = FaultTarget::All;
+    /** Seed of the fault stream (independent of computation streams). */
+    std::uint64_t seed = 0x6661756c74ULL;
+
+    /** True when any failure mode has a non-zero rate. */
+    bool any() const;
+
+    /** True when faults should be injected into `kind`. */
+    bool applies_to(BackendKind kind) const;
+};
+
+/** Injected-fault tallies, reported next to the retry counters. */
+struct FaultCounters
+{
+    std::uint64_t transient = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t garbage = 0;
+    std::uint64_t drifts = 0;
+    std::uint64_t crashes = 0;
+
+    std::uint64_t total() const
+    {
+        return transient + timeouts + garbage + drifts + crashes;
+    }
+
+    FaultCounters &operator+=(const FaultCounters &other);
+};
+
+/** Executor decorator that injects configured faults. */
+class FaultInjector : public Executor
+{
+  public:
+    /**
+     * @param inner decorated executor
+     * @param config failure modes; rates for non-matching targets are
+     *        ignored (the injector becomes a pass-through)
+     * @param drift_target calibration snapshot perturbed by drift
+     *        events (usually the Device the inner executor reads);
+     *        null disables drift perturbation
+     */
+    FaultInjector(std::unique_ptr<Executor> inner,
+                  const FaultConfig &config,
+                  dev::Device *drift_target = nullptr);
+
+    BackendKind kind() const override { return inner_->kind(); }
+    bool supports(const circ::Circuit &circuit) const override;
+    double replica_fidelity(const circ::Circuit &replica,
+                            elv::Rng &rng) override;
+    std::vector<double> run_distribution(const circ::Circuit &circuit,
+                                         const std::vector<double> &params,
+                                         const std::vector<double> &x,
+                                         elv::Rng &rng) override;
+
+    /** Faults injected so far. */
+    const FaultCounters &injected() const { return injected_; }
+
+  private:
+    /** Pre-call faults: crash, drift, timeout, transient error. */
+    void before_call(const char *what);
+    /** Post-call fault: corrupt a produced value with prob garbage. */
+    bool draw_garbage();
+    void apply_drift();
+
+    std::unique_ptr<Executor> inner_;
+    FaultConfig config_;
+    bool active_;
+    dev::Device *drift_target_;
+    elv::Rng fault_rng_;
+    FaultCounters injected_;
+};
+
+} // namespace elv::exec

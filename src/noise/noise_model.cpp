@@ -79,6 +79,9 @@ NoisyDensitySimulator::NoisyDensitySimulator(const dev::Device &device,
     : device_(device), scale_(noise_scale)
 {
     ELV_REQUIRE(noise_scale >= 0.0, "negative noise scale");
+    // Reject malformed calibration up front: a silent size mismatch
+    // here becomes an out-of-bounds read deep in the channel factory.
+    device.validate();
 }
 
 std::vector<double>

@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "common/logging.hpp"
+#include "common/validate.hpp"
 #include "sim/statevector.hpp"
 
 namespace elv::qml {
@@ -20,7 +21,13 @@ statevector_distribution()
         const circ::Circuit local = circuit.compacted(kept);
         sim::StateVector psi(local.num_qubits());
         psi.run(local, params, x);
-        return psi.probabilities(local.measured());
+        auto probs = psi.probabilities(local.measured());
+        // Numerical guardrail at the DistributionFn boundary: NaN or
+        // lost mass here silently corrupts every downstream loss.
+        elv::validate_distribution(probs,
+                                   elv::DistributionPolicy::Renormalize,
+                                   "statevector distribution");
+        return probs;
     };
 }
 
@@ -34,7 +41,12 @@ with_shot_noise(DistributionFn inner, int shots, std::uint64_t seed)
             rng](const circ::Circuit &circuit,
                  const std::vector<double> &params,
                  const std::vector<double> &x) {
-        const auto exact = inner(circuit, params, x);
+        auto exact = inner(circuit, params, x);
+        // Sampling from a NaN/unnormalized distribution would silently
+        // bias every histogram; validate (and repair drift) first.
+        elv::validate_distribution(exact,
+                                   elv::DistributionPolicy::Renormalize,
+                                   "shot-noise provider input");
         std::vector<double> histogram(exact.size(), 0.0);
         for (int s = 0; s < shots; ++s) {
             double u = rng->uniform();

@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "common/validate.hpp"
 #include "qml/optimizer.hpp"
 #include "sim/gradients.hpp"
 #include "sim/observable.hpp"
@@ -88,6 +89,22 @@ train_circuit(const circ::Circuit &circuit, const Dataset &data,
     const auto projectors =
         sim::class_projectors(local.measured(), data.num_classes);
 
+    // Guard the training loop against a misbehaving provider: one NaN
+    // distribution would silently poison the Adam moments for good.
+    DistributionFn provider;
+    if (config.distribution) {
+        provider = [inner = config.distribution](
+                       const circ::Circuit &c,
+                       const std::vector<double> &p,
+                       const std::vector<double> &xs) {
+            auto probs = inner(c, p, xs);
+            elv::validate_distribution(
+                probs, elv::DistributionPolicy::Renormalize,
+                "training distribution provider");
+            return probs;
+        };
+    }
+
     std::vector<std::size_t> order(data.samples.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
 
@@ -125,8 +142,7 @@ train_circuit(const circ::Circuit &circuit, const Dataset &data,
                     // compaction would strip. Parameter slots and the
                     // measured-qubit order are compaction-invariant.
                     g = provider_shift_gradient(circuit, result.params,
-                                                x, obs[0],
-                                                config.distribution);
+                                                x, obs[0], provider);
                 } else if (config.backend == GradientBackend::Adjoint) {
                     g = sim::adjoint_gradient(local, result.params, x,
                                               obs);

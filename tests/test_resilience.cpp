@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Resilience acceptance tests for the search pipeline (ISSUE acceptance
+ * criteria): a fault-injected run that survives via retries returns the
+ * same best circuit as the fault-free run; a crash-interrupted search
+ * resumes from its journal to a bit-identical ranking; an always-failing
+ * primary backend degrades down the ladder instead of aborting, with
+ * every affected candidate flagged.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "circuit/serialize.hpp"
+#include "common/logging.hpp"
+#include "core/checkpoint.hpp"
+#include "core/search.hpp"
+#include "exec/executor.hpp"
+#include "qml/synthetic.hpp"
+
+namespace {
+
+using namespace elv;
+using namespace elv::core;
+
+/** Small search configuration (seconds, not minutes, per run). */
+ElivagarConfig
+small_search_config(int num_features)
+{
+    ElivagarConfig config;
+    config.num_candidates = 10;
+    config.candidate.num_qubits = 4;
+    config.candidate.num_params = 12;
+    config.candidate.num_embeds = 4;
+    config.candidate.num_meas = 1;
+    config.candidate.num_features = num_features;
+    config.cnr.num_replicas = 4;
+    config.repcap.samples_per_class = 4;
+    config.repcap.param_inits = 2;
+    config.seed = 23;
+    return config;
+}
+
+/** Fresh journal path under the test temp dir. */
+std::string
+journal_path(const std::string &name)
+{
+    const std::string path = ::testing::TempDir() + "elv_" + name +
+                             ".journal";
+    std::remove(path.c_str());
+    return path;
+}
+
+void
+expect_identical_results(const SearchResult &a, const SearchResult &b)
+{
+    EXPECT_EQ(circ::to_text(a.best_circuit),
+              circ::to_text(b.best_circuit));
+    EXPECT_EQ(a.best_score, b.best_score); // bit-exact
+    EXPECT_EQ(a.survivors, b.survivors);
+    EXPECT_EQ(a.cnr_executions, b.cnr_executions);
+    EXPECT_EQ(a.repcap_executions, b.repcap_executions);
+    ASSERT_EQ(a.candidates.size(), b.candidates.size());
+    for (std::size_t n = 0; n < a.candidates.size(); ++n) {
+        EXPECT_EQ(a.candidates[n].cnr, b.candidates[n].cnr) << n;
+        EXPECT_EQ(a.candidates[n].repcap, b.candidates[n].repcap) << n;
+        EXPECT_EQ(a.candidates[n].score, b.candidates[n].score) << n;
+        EXPECT_EQ(a.candidates[n].rejected_by_cnr,
+                  b.candidates[n].rejected_by_cnr)
+            << n;
+    }
+}
+
+TEST(Resilience, FaultInjectedRunMatchesFaultFreeRun)
+{
+    const qml::Benchmark bench = qml::make_benchmark("moons", 7, 0.1);
+    const dev::Device device = dev::make_device("ibm_lagos");
+    const ElivagarConfig config = small_search_config(bench.spec.dim);
+
+    // Reference: plain execution, no resilience layer at all.
+    const SearchResult clean =
+        elivagar_search(device, bench.train, config);
+
+    // Same search under ~20% injected transient faults, with enough
+    // attempts that no call exhausts its rung.
+    ElivagarConfig faulty_config = config;
+    faulty_config.resilience.enabled = true;
+    faulty_config.resilience.retry.max_attempts = 10;
+    faulty_config.resilience.faults.transient_rate = 0.15;
+    faulty_config.resilience.faults.garbage_rate = 0.05;
+    const SearchResult faulty =
+        elivagar_search(device, bench.train, faulty_config);
+
+    expect_identical_results(clean, faulty);
+    EXPECT_EQ(faulty.degraded_candidates, 0);
+    EXPECT_GT(faulty.fault_counters.total(), 0u);
+    EXPECT_EQ(faulty.exec_counters.failures,
+              faulty.fault_counters.transient +
+                  faulty.fault_counters.garbage);
+    EXPECT_GT(faulty.exec_counters.retries, 0u);
+    EXPECT_GT(faulty.simulated_wait_ms, 0.0);
+    // The clean run reports no resilience activity.
+    EXPECT_EQ(clean.exec_counters.calls, 0u);
+    EXPECT_EQ(clean.fault_counters.total(), 0u);
+}
+
+TEST(Resilience, CrashedSearchResumesToIdenticalRanking)
+{
+    const qml::Benchmark bench = qml::make_benchmark("moons", 8, 0.1);
+    const dev::Device device = dev::make_device("ibm_lagos");
+    const ElivagarConfig config = small_search_config(bench.spec.dim);
+
+    // Uninterrupted reference run (no journal, no faults).
+    ElivagarConfig reference_config = config;
+    reference_config.resilience.enabled = true;
+    const SearchResult reference =
+        elivagar_search(device, bench.train, reference_config);
+
+    // Crash mid-search: the injected CrashError fires once 10 replica
+    // executions succeeded — 2.5 candidates into the CNR stage.
+    const std::string path = journal_path("crash_resume");
+    ElivagarConfig crash_config = config;
+    crash_config.resilience.enabled = true;
+    crash_config.resilience.faults.crash_after = 10;
+    crash_config.resilience.checkpoint_path = path;
+    EXPECT_THROW(elivagar_search(device, bench.train, crash_config),
+                 exec::CrashError);
+
+    // The journal holds the completed prefix.
+    {
+        SearchJournal journal(path, config_fingerprint(config));
+        EXPECT_TRUE(journal.load());
+        ASSERT_NE(journal.entry(0), nullptr);
+        EXPECT_TRUE(journal.entry(0)->has_cnr);
+        EXPECT_TRUE(journal.entry(1)->has_cnr);
+        EXPECT_FALSE(journal.entry(2)->has_cnr);
+    }
+
+    // Resume with the faults disabled (the fingerprint ignores fault
+    // and retry knobs, so the journal is accepted).
+    ElivagarConfig resume_config = config;
+    resume_config.resilience.enabled = true;
+    resume_config.resilience.checkpoint_path = path;
+    const SearchResult resumed =
+        elivagar_search(device, bench.train, resume_config);
+
+    EXPECT_TRUE(resumed.resumed);
+    expect_identical_results(reference, resumed);
+    std::remove(path.c_str());
+}
+
+TEST(Resilience, CompletedJournalReplaysWithoutReexecution)
+{
+    const qml::Benchmark bench = qml::make_benchmark("moons", 9, 0.1);
+    const dev::Device device = dev::make_device("ibm_lagos");
+    ElivagarConfig config = small_search_config(bench.spec.dim);
+    config.resilience.enabled = true;
+    config.resilience.checkpoint_path = journal_path("full_replay");
+
+    const SearchResult first =
+        elivagar_search(device, bench.train, config);
+    EXPECT_FALSE(first.resumed);
+
+    const SearchResult second =
+        elivagar_search(device, bench.train, config);
+    EXPECT_TRUE(second.resumed);
+    expect_identical_results(first, second);
+    // Everything came from the journal: the executor serviced no calls.
+    EXPECT_EQ(second.exec_counters.calls, 0u);
+    std::remove(config.resilience.checkpoint_path.c_str());
+}
+
+TEST(Resilience, JournalFromDifferentConfigIsRejected)
+{
+    const qml::Benchmark bench = qml::make_benchmark("moons", 10, 0.1);
+    const dev::Device device = dev::make_device("ibm_lagos");
+    ElivagarConfig config = small_search_config(bench.spec.dim);
+    config.resilience.checkpoint_path = journal_path("fingerprint");
+    elivagar_search(device, bench.train, config);
+
+    ElivagarConfig other = config;
+    other.seed = config.seed + 1; // different search, same journal
+    EXPECT_THROW(elivagar_search(device, bench.train, other),
+                 UsageError);
+    std::remove(config.resilience.checkpoint_path.c_str());
+}
+
+TEST(Resilience, AlwaysFailingDensityDegradesToStabilizer)
+{
+    const qml::Benchmark bench = qml::make_benchmark("moons", 11, 0.1);
+    const dev::Device device = dev::make_device("ibm_lagos");
+    ElivagarConfig config = small_search_config(bench.spec.dim);
+    config.resilience.enabled = true;
+    config.resilience.retry.max_attempts = 2;
+    config.resilience.faults.transient_rate = 1.0;
+    config.resilience.faults.target = exec::FaultTarget::Density;
+
+    const SearchResult result =
+        elivagar_search(device, bench.train, config);
+
+    // Every candidate's CNR was serviced by the stabilizer fallback.
+    EXPECT_EQ(result.degraded_candidates, config.num_candidates);
+    for (const auto &record : result.candidates) {
+        EXPECT_TRUE(record.degraded);
+        EXPECT_GT(record.retries, 0u);
+    }
+    EXPECT_GE(result.survivors, 1);
+    EXPECT_GT(result.best_score, 0.0);
+
+    // Counter bookkeeping matches the injected failures exactly: per
+    // call, 2 failed density attempts (1 retry) then 1 stabilizer
+    // success.
+    const std::uint64_t calls = result.exec_counters.calls;
+    EXPECT_EQ(calls, result.cnr_executions);
+    EXPECT_EQ(result.exec_counters.failures, 2 * calls);
+    EXPECT_EQ(result.exec_counters.retries, calls);
+    EXPECT_EQ(result.exec_counters.rungs_exhausted, calls);
+    EXPECT_EQ(result.exec_counters.degraded_calls, calls);
+    EXPECT_EQ(result.fault_counters.transient, 2 * calls);
+    EXPECT_GT(result.simulated_wait_ms, 0.0);
+}
+
+TEST(Resilience, CalibrationDriftIsCountedAndContained)
+{
+    const qml::Benchmark bench = qml::make_benchmark("moons", 12, 0.1);
+    const dev::Device device = dev::make_device("ibm_lagos");
+    const std::vector<double> original_readout = device.readout_error;
+
+    ElivagarConfig config = small_search_config(bench.spec.dim);
+    config.resilience.enabled = true;
+    config.resilience.faults.drift_rate = 0.3;
+
+    const SearchResult result =
+        elivagar_search(device, bench.train, config);
+    EXPECT_GT(result.fault_counters.drifts, 0u);
+    EXPECT_GE(result.survivors, 1);
+    // Drift perturbed the executor's private snapshot, never the
+    // caller's device.
+    EXPECT_EQ(device.readout_error, original_readout);
+}
+
+TEST(Resilience, HexFloatRoundTripIsBitExact)
+{
+    for (const double v :
+         {0.0, 1.0, 1.0 / 3.0, 0.8721350128375, 1e-300, -0.25}) {
+        EXPECT_EQ(double_from_hex(double_to_hex(v)), v);
+    }
+    EXPECT_THROW(double_from_hex("not-a-number"), UsageError);
+}
+
+} // namespace
