@@ -18,10 +18,14 @@
 #include "core/cnr.hpp"
 #include "device/device.hpp"
 
+#include "harness.hpp"
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace elv;
+
+    elv::bench::Reporter reporter("cnr_rejection", argc, argv);
 
     const dev::Device device = dev::make_device("ibmq_manila");
     elv::Rng rng(42);
@@ -76,7 +80,7 @@ main()
              Table::fmt(reduction, 1) + "x",
              threshold == 0.9 ? "95% rejected, ~20x" : ""});
     }
-    table.print();
+    reporter.add(table);
     std::printf("\nShape check: deep circuits on a noisy device mostly "
                 "fail a 0.9 CNR threshold,\nso the cheap CNR pass "
                 "eliminates most of the expensive performance "

@@ -15,14 +15,17 @@
 #include "harness.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace elv;
     using namespace elv::bench;
 
+    elv::bench::Reporter reporter("fig10_embedding", argc, argv);
+
     const char *benchmarks[] = {"moons", "bank", "mnist-2", "fmnist-4"};
 
     RunOptions options;
+    options.threads = reporter.threads();
     options.max_train_samples = 120;
     options.epochs = 25;
     options.candidates = 32;
@@ -65,7 +68,7 @@ main()
                        Table::pct(a_search)});
         std::fprintf(stderr, "  [fig10] %s done\n", name);
     }
-    table.print();
+    reporter.add(table);
     std::printf("\nmean deltas: searched - angle = %+.1f%% (paper "
                 "+5.5%%), searched - IQP = %+.1f%% (paper +20%%)\n",
                 100.0 * (mean(searched_acc) - mean(angle_acc)),

@@ -37,10 +37,12 @@ make_noisy_fn(const noise::NoisyDensitySimulator &sim)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace elv;
     using namespace elv::bench;
+
+    elv::bench::Reporter reporter("fig11_companions", argc, argv);
 
     struct Cell
     {
@@ -54,6 +56,7 @@ main()
     };
 
     RunOptions options;
+    options.threads = reporter.threads();
     options.max_train_samples = 120;
     options.epochs = 25;
 
@@ -142,10 +145,10 @@ main()
         std::fprintf(stderr, "  [fig11] %s done\n", cell.benchmark);
     }
 
-    nat_table.print();
+    reporter.add(nat_table);
     std::printf("mean Elivagar+NAT - QNAS+NAT: %+.1f%% (paper +2.2%%)\n\n",
                 100.0 * (mean(elv_nat) - mean(qnas_nat)));
-    qtn_table.print();
+    reporter.add(qtn_table);
     std::printf("\nShape check: both companions compose with both QCS "
                 "methods, and Elivagar\nkeeps its lead when composed "
                 "(paper Sec. 9.5).\n");

@@ -20,10 +20,14 @@
 #include "core/cnr.hpp"
 #include "noise/noise_model.hpp"
 
+#include "harness.hpp"
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace elv;
+
+    elv::bench::Reporter reporter("fig5_cnr_fidelity", argc, argv);
 
     struct Cell
     {
@@ -91,7 +95,7 @@ main()
              Table::fmt(pearson_r(cnrs, fidelities), 3),
              cell.paper_r > 0 ? Table::fmt(cell.paper_r, 3) : "(high)"});
     }
-    table.print();
+    reporter.add(table);
     std::printf("\nShape check: CNR correlates strongly and positively "
                 "with fidelity on every\ndevice, enabling early "
                 "rejection of low-fidelity circuits (Insight 3).\n");

@@ -22,6 +22,8 @@
 #include "qml/synthetic.hpp"
 #include "qml/trainer.hpp"
 
+#include "harness.hpp"
+
 namespace {
 
 using namespace elv;
@@ -47,9 +49,11 @@ trained_accuracy(const circ::Circuit &circuit, const qml::Benchmark &bench,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace elv;
+
+    elv::bench::Reporter reporter("fig6_repcap_fmnist", argc, argv);
 
     // Candidates span a range of sizes/embedding richness so trained
     // accuracy spreads out (the paper's scatter spans ~0.4-0.8 too).
@@ -118,7 +122,7 @@ main()
     table.add_row({"SuperCircuit loss vs trained accuracy", "yes",
                    Table::fmt(pearson_r(super_losses, sc_accs), 3),
                    "-0.716"});
-    table.print();
+    reporter.add(table);
     std::printf("\nShape check: RepCap's |R| is comparable to the trained "
                 "SuperCircuit's |R|\n(positive for RepCap, negative for "
                 "loss), with zero gradient computation\n(Insight 4).\n");

@@ -17,10 +17,14 @@
 #include "qml/synthetic.hpp"
 #include "qml/trainer.hpp"
 
+#include "harness.hpp"
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace elv;
+
+    elv::bench::Reporter reporter("fig7_repcap_tasks", argc, argv);
 
     struct Task
     {
@@ -87,7 +91,7 @@ main()
                        Table::fmt(spearman_r(repcaps, accs), 3),
                        Table::fmt(task.paper_r, 3)});
     }
-    table.print();
+    reporter.add(table);
     std::printf("\nShape check: RepCap anti-correlates with trained loss "
                 "(and correlates with\naccuracy) on every task, matching "
                 "Fig. 7's negative-R scatter plots.\n");

@@ -21,10 +21,12 @@
 #include "harness.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace elv;
     using namespace elv::bench;
+
+    elv::bench::Reporter reporter("fig8_main_accuracy", argc, argv);
 
     struct Cell
     {
@@ -47,11 +49,12 @@ main()
     };
 
     RunOptions options;
+    options.threads = reporter.threads();
     options.max_train_samples = 120;
     options.epochs = 25;
     options.candidates = 24;
 
-    auto run_panel = [&options](const char *title, const Cell *cells,
+    auto run_panel = [&options, &reporter](const char *title, const Cell *cells,
                                 std::size_t count) {
         Table table(title);
         table.set_header({"benchmark", "device", "Random", "Human",
@@ -85,7 +88,7 @@ main()
             std::fprintf(stderr, "  [fig8] %s / %s done\n",
                          cells[i].benchmark, cells[i].device);
         }
-        table.print();
+        reporter.add(table);
         std::printf("mean Elivagar - QuantumNAS: %+.1f%% (paper: +5.3%% "
                     "avg over both panels)\n",
                     100.0 * (mean(elv_acc) - mean(qnas_acc)));

@@ -18,10 +18,12 @@
 #include "harness.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace elv;
     using namespace elv::bench;
+
+    elv::bench::Reporter reporter("fig9_ablation", argc, argv);
 
     struct Cell
     {
@@ -36,6 +38,7 @@ main()
     };
 
     RunOptions options;
+    options.threads = reporter.threads();
     options.max_train_samples = 120;
     options.epochs = 25;
     // The paper's ablation runs on real hardware; amplify the
@@ -132,7 +135,7 @@ main()
                        Table::pct(acc4)});
         std::fprintf(stderr, "  [fig9] %s done\n", cell.benchmark);
     }
-    table.print();
+    reporter.add(table);
     std::printf("\nmean deltas: noise-aware %+.1f%% (paper +5%%), "
                 "+RepCap %+.1f%% (paper +6%%), +CNR %+.1f%% (paper "
                 "+2%%)\n",

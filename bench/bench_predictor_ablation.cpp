@@ -28,6 +28,8 @@
 #include "qml/synthetic.hpp"
 #include "qml/trainer.hpp"
 
+#include "harness.hpp"
+
 namespace {
 
 using namespace elv;
@@ -52,9 +54,11 @@ trained_accuracy(const circ::Circuit &c, const qml::Benchmark &bench,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace elv;
+
+    elv::bench::Reporter reporter("predictor_ablation", argc, argv);
 
     // ---- Part 1: RepCap vs expressibility as performance predictors.
     const qml::Benchmark bench = qml::make_benchmark("moons", 3, 0.3);
@@ -107,7 +111,7 @@ main()
         {"-Expressibility (Sim et al.)",
          Table::fmt(spearman_r(expr_neg, accs), 3),
          std::to_string(expr_cost), "no"});
-    predictor_table.print();
+    reporter.add(predictor_table);
 
     // ---- Part 2: random vs nearest-Clifford replicas for CNR.
     const noise::NoisyDensitySimulator noisy(device);
@@ -161,7 +165,7 @@ main()
     replica_table.add_row(
         {"nearest-Clifford x1 (compile-time prior work)",
          Table::fmt(pearson_r(cnr_nearest, fidelities), 3)});
-    replica_table.print();
+    reporter.add(replica_table);
 
     std::printf("\nShape check: RepCap predicts trained accuracy better "
                 "than the task-agnostic\nexpressibility metric, and "

@@ -17,10 +17,14 @@
 #include "device/device.hpp"
 #include "qml/synthetic.hpp"
 
+#include "harness.hpp"
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace elv;
+
+    elv::bench::Reporter reporter("resilience", argc, argv);
 
     const qml::Benchmark bench = qml::make_benchmark("moons", 7, 0.1);
     const dev::Device device = dev::make_device("ibm_lagos");
@@ -36,6 +40,7 @@ main()
     config.repcap.samples_per_class = 4;
     config.repcap.param_inits = 2;
     config.seed = 42;
+    config.threads = reporter.threads();
     config.resilience.enabled = true;
     config.resilience.retry.max_attempts = 8;
 
@@ -61,7 +66,7 @@ main()
              circ::to_text(result.best_circuit) == clean_best ? "yes"
                                                               : "no"});
     }
-    sweep.print();
+    reporter.add(sweep);
 
     Table ladder("\nDegradation ladder: one backend failing "
                  "permanently");
@@ -84,7 +89,7 @@ main()
              circ::to_text(result.best_circuit) == clean_best ? "yes"
                                                               : "no"});
     }
-    ladder.print();
+    reporter.add(ladder);
 
     std::printf(
         "\nShape check: moderate fault rates are absorbed by retries "

@@ -1,20 +1,44 @@
 /**
  * @file
- * Supporting microbenchmarks (google-benchmark) for the paper's Sec. 5
- * efficiency claim: Clifford circuits are efficiently simulable. The
- * stabilizer tableau scales polynomially with qubit count while the
- * dense state-vector and density-matrix backends scale exponentially —
- * which is what makes Clifford-replica CNR cheap even for circuits far
- * beyond dense simulation.
+ * Simulator and search-engine scaling benchmarks.
+ *
+ * Default mode measures the two perf-critical comparisons of the
+ * parallel search engine and dumps them to BENCH_parallel.json:
+ *
+ *  - generic dense matmul kernels vs the specialized CX/CZ/SWAP and
+ *    diagonal-1q kernels, single-threaded, with a bit-level
+ *    equivalence check;
+ *  - `elivagar_search` at --threads 1 vs --threads N on an
+ *    8-qubit/64-candidate search, with a bit-identity check of the
+ *    full ranking (the determinism contract of src/parallel/).
+ *
+ * `--gbench` instead runs the original google-benchmark microbenches
+ * for the paper's Sec. 5 efficiency claim: the stabilizer tableau
+ * scales polynomially with qubit count while the dense state-vector
+ * and density-matrix backends scale exponentially — which is what
+ * makes Clifford-replica CNR cheap even for circuits far beyond dense
+ * simulation.
  */
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <vector>
+
 #include "circuit/circuit.hpp"
 #include "circuit/clifford_replica.hpp"
+#include "circuit/serialize.hpp"
 #include "common/rng.hpp"
+#include "common/table.hpp"
 #include "core/candidate_gen.hpp"
 #include "core/cnr.hpp"
+#include "core/search.hpp"
 #include "device/device.hpp"
+#include "harness.hpp"
+#include "parallel/thread_pool.hpp"
+#include "qml/synthetic.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/statevector.hpp"
 #include "stabilizer/tableau.hpp"
@@ -139,6 +163,195 @@ BM_AdjointVsParameterShiftGap(benchmark::State &state)
         benchmark::DoNotOptimize(params);
 }
 
+/** An entangler-heavy circuit that mixes every specialized kernel. */
+circ::Circuit
+kernel_mix(int qubits, int layers)
+{
+    circ::Circuit c(qubits);
+    for (int l = 0; l < layers; ++l) {
+        for (int q = 0; q < qubits; ++q)
+            c.add_variational(circ::GateKind::RZ, {q});
+        for (int q = l % 2; q + 1 < qubits; q += 2)
+            c.add_gate(circ::GateKind::CX, {q, q + 1});
+        for (int q = 0; q < qubits; ++q)
+            c.add_gate(circ::GateKind::S, {q});
+        for (int q = (l + 1) % 2; q + 1 < qubits; q += 2)
+            c.add_gate(circ::GateKind::CZ, {q, q + 1});
+        c.add_gate(circ::GateKind::SWAP, {0, qubits - 1});
+        for (int q = 0; q < qubits; ++q)
+            c.add_gate(circ::GateKind::Z, {q});
+    }
+    std::vector<int> meas;
+    for (int q = 0; q < std::min(qubits, 10); ++q)
+        meas.push_back(q);
+    c.set_measured(meas);
+    return c;
+}
+
+double
+seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Fixed angles for a circuit's variational slots. */
+std::vector<double>
+fixed_params(const circ::Circuit &c)
+{
+    std::vector<double> params(
+        static_cast<std::size_t>(c.num_params()));
+    for (std::size_t i = 0; i < params.size(); ++i)
+        params[i] = 0.05 + 0.1 * static_cast<double>(i);
+    return params;
+}
+
+/** Seconds per run of `c` on a fresh state with the given kernels. */
+double
+time_statevector(const circ::Circuit &c, int qubits, bool specialized,
+                 int reps)
+{
+    sim::StateVector psi(qubits);
+    psi.use_specialized_kernels(specialized);
+    const std::vector<double> params = fixed_params(c);
+    psi.run(c, params); // warm-up
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r)
+        psi.run(c, params);
+    return seconds_since(start) / reps;
+}
+
+/** Max |amp difference| between the two kernel paths for `c`. */
+double
+kernel_max_diff(const circ::Circuit &c, int qubits)
+{
+    sim::StateVector generic(qubits), fast(qubits);
+    generic.use_specialized_kernels(false);
+    const std::vector<double> params = fixed_params(c);
+    generic.run(c, params);
+    fast.run(c, params);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < generic.dim(); ++i)
+        diff = std::max(diff, std::abs(generic.amp(i) - fast.amp(i)));
+    return diff;
+}
+
+/** The 8-qubit, 64-candidate search of the parallel acceptance bench. */
+core::ElivagarConfig
+search_config(const qml::Benchmark &bench, int threads)
+{
+    core::ElivagarConfig config;
+    config.num_candidates = 64;
+    config.candidate.num_qubits = 8;
+    config.candidate.num_params = 24;
+    config.candidate.num_embeds = 8;
+    config.candidate.num_meas = 1;
+    config.candidate.num_features = bench.spec.dim;
+    // Stabilizer CNR keeps each candidate cheap enough that the bench
+    // finishes in seconds while still being execution-bound.
+    config.cnr.backend = core::CnrBackend::Stabilizer;
+    config.cnr.num_replicas = 8;
+    config.cnr.shots = 512;
+    config.repcap.samples_per_class = 8;
+    config.repcap.param_inits = 8;
+    config.seed = 7;
+    config.threads = threads;
+    return config;
+}
+
+bool
+identical_rankings(const core::SearchResult &a, const core::SearchResult &b)
+{
+    if (circ::to_text(a.best_circuit) != circ::to_text(b.best_circuit) ||
+        a.best_score != b.best_score ||
+        a.candidates.size() != b.candidates.size())
+        return false;
+    for (std::size_t n = 0; n < a.candidates.size(); ++n) {
+        if (a.candidates[n].cnr != b.candidates[n].cnr ||
+            a.candidates[n].repcap != b.candidates[n].repcap ||
+            a.candidates[n].score != b.candidates[n].score ||
+            a.candidates[n].rejected_by_cnr !=
+                b.candidates[n].rejected_by_cnr)
+            return false;
+    }
+    return true;
+}
+
+int
+run_comparisons(int argc, char **argv)
+{
+    // This bench exists to emit BENCH_parallel.json; force --json on.
+    std::vector<char *> args(argv, argv + argc);
+    char force_json[] = "--json";
+    args.push_back(force_json);
+    bench::Reporter reporter("parallel", static_cast<int>(args.size()),
+                             args.data());
+
+    // Part 1: specialized kernels vs generic dense matmul, one thread.
+    Table kernels(
+        "Specialized vs generic gate kernels (single-threaded)");
+    kernels.set_header({"circuit", "qubits", "generic (ms)",
+                        "specialized (ms)", "speedup", "max |diff|"});
+    struct KernelCase
+    {
+        const char *name;
+        circ::Circuit circuit;
+        int qubits;
+    };
+    std::vector<KernelCase> cases;
+    for (const int qubits : {8, 12, 16})
+        cases.push_back({"clifford brickwork",
+                         clifford_brickwork(qubits, 6), qubits});
+    for (const int qubits : {8, 12, 16})
+        cases.push_back({"entangler mix", kernel_mix(qubits, 6), qubits});
+    for (const KernelCase &kc : cases) {
+        const int reps = kc.qubits >= 16 ? 10 : 40;
+        const double generic_s =
+            time_statevector(kc.circuit, kc.qubits, false, reps);
+        const double fast_s =
+            time_statevector(kc.circuit, kc.qubits, true, reps);
+        const double diff = kernel_max_diff(kc.circuit, kc.qubits);
+        kernels.add_row({kc.name, std::to_string(kc.qubits),
+                         Table::fmt(1e3 * generic_s, 3),
+                         Table::fmt(1e3 * fast_s, 3),
+                         Table::fmt(generic_s / fast_s, 2),
+                         Table::fmt(diff, 12)});
+    }
+    reporter.add(kernels);
+
+    // Part 2: serial vs parallel search, with the bit-identity check
+    // the determinism contract promises.
+    const int threads = reporter.threads()
+                            ? reporter.threads()
+                            : par::ThreadPool::hardware_threads();
+    const qml::Benchmark bench = qml::make_benchmark("moons", 11, 0.15);
+    const dev::Device device = dev::make_device("ibmq_mumbai");
+
+    auto serial_start = std::chrono::steady_clock::now();
+    const core::SearchResult serial =
+        core::elivagar_search(device, bench.train,
+                              search_config(bench, 1));
+    const double serial_s = seconds_since(serial_start);
+
+    auto parallel_start = std::chrono::steady_clock::now();
+    const core::SearchResult parallel =
+        core::elivagar_search(device, bench.train,
+                              search_config(bench, threads));
+    const double parallel_s = seconds_since(parallel_start);
+
+    Table search("Elivagar search: serial vs parallel "
+                 "(8 qubits, 64 candidates)");
+    search.set_header({"threads", "serial (s)", "parallel (s)",
+                       "speedup", "bit-identical"});
+    search.add_row({std::to_string(threads), Table::fmt(serial_s, 3),
+                    Table::fmt(parallel_s, 3),
+                    Table::fmt(serial_s / parallel_s, 2),
+                    identical_rankings(serial, parallel) ? "yes" : "NO"});
+    reporter.add(search);
+    return identical_rankings(serial, parallel) ? 0 : 1;
+}
+
 } // namespace
 
 BENCHMARK(BM_StateVectorClifford)->DenseRange(4, 16, 4)->Arg(18);
@@ -148,4 +361,20 @@ BENCHMARK(BM_CnrDensityBackend)->DenseRange(3, 7, 2);
 BENCHMARK(BM_CnrStabilizerBackend)->DenseRange(3, 7, 2);
 BENCHMARK(BM_AdjointVsParameterShiftGap)->Arg(16)->Arg(40)->Arg(72);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--gbench") {
+            std::vector<char *> args;
+            for (int j = 0; j < argc; ++j)
+                if (j != i)
+                    args.push_back(argv[j]);
+            int bench_argc = static_cast<int>(args.size());
+            benchmark::Initialize(&bench_argc, args.data());
+            benchmark::RunSpecifiedBenchmarks();
+            return 0;
+        }
+    }
+    return run_comparisons(argc, argv);
+}

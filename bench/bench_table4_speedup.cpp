@@ -30,10 +30,12 @@
 #include "harness.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace elv;
     using namespace elv::bench;
+
+    elv::bench::Reporter reporter("table4_speedup", argc, argv);
 
     struct Row
     {
@@ -50,6 +52,7 @@ main()
     };
 
     RunOptions options;
+    options.threads = reporter.threads();
     options.max_train_samples = 240;
     options.epochs = 20;
     // Tilt toward the paper's training-heavy regime: SuperCircuit
@@ -111,7 +114,7 @@ main()
                    "11.7x",
                    Table::fmt(geometric_mean(speedups_q), 0) + "x",
                    "271x"});
-    table.print();
+    reporter.add(table);
     std::printf("\nShape check: Elivagar wins in both regimes and the "
                 "hardware ('Q') speedup\ngrows with benchmark size, "
                 "because SuperCircuit training scales with the\n"

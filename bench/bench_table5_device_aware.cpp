@@ -19,6 +19,8 @@
 #include "core/candidate_gen.hpp"
 #include "noise/noise_model.hpp"
 
+#include "harness.hpp"
+
 namespace {
 
 using namespace elv;
@@ -71,9 +73,11 @@ unaware_twin(const circ::Circuit &aware, int num_qubits, elv::Rng &rng)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace elv;
+
+    elv::bench::Reporter reporter("table5_device_aware", argc, argv);
 
     struct Row
     {
@@ -149,7 +153,7 @@ main()
         gains.push_back(aware_fid - unaware_fid);
         std::fprintf(stderr, "  [table5] %s done\n", row.device);
     }
-    table.print();
+    reporter.add(table);
     std::printf("\nmean fidelity gain of device-aware generation: %+.1f%% "
                 "(paper: +18.9%% relative)\n",
                 100.0 * elv::mean(gains));

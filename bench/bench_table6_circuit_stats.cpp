@@ -15,10 +15,12 @@
 #include "harness.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace elv;
     using namespace elv::bench;
+
+    elv::bench::Reporter reporter("table6_circuit_stats", argc, argv);
 
     struct Cell
     {
@@ -33,6 +35,7 @@ main()
     };
 
     RunOptions options;
+    options.threads = reporter.threads();
     options.max_train_samples = 120;
     options.epochs = 20;
     options.train_restarts = 1;
@@ -65,7 +68,7 @@ main()
             add("QuantumSupernet", run_supernet(bench, device, options));
         add("QuantumNAS", run_quantumnas(bench, device, options));
         add("Elivagar", run_elivagar(bench, device, options));
-        table.print();
+        reporter.add(table);
         std::printf("\n");
         std::fprintf(stderr, "  [table6] %s done\n", cell.benchmark);
     }

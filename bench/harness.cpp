@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 
 #include "baselines/quantum_supernet.hpp"
 #include "baselines/quantumnas.hpp"
@@ -70,6 +73,53 @@ virtual_fully_connected(const dev::Device &device, int num_qubits)
 }
 
 } // namespace
+
+Reporter::Reporter(std::string name, int argc, char **argv)
+    : name_(std::move(name))
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json_ = true;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads_ = std::atoi(argv[++i]);
+            if (threads_ < 0)
+                threads_ = 0;
+        } else {
+            std::cerr << "bench_" << name_ << ": ignoring unknown option '"
+                      << arg << "' (known: --json, --threads N)\n";
+        }
+    }
+}
+
+Reporter::~Reporter()
+{
+    if (!json_)
+        return;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "bench_" << name_ << ": cannot write " << path
+                  << "\n";
+        return;
+    }
+    out << "{\"bench\": " << Table::json_escape(name_)
+        << ", \"threads\": " << threads_ << ", \"tables\": [";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        if (t)
+            out << ", ";
+        out << tables_[t];
+    }
+    out << "]}\n";
+    std::cout << "wrote " << path << "\n";
+}
+
+void
+Reporter::add(const elv::Table &table)
+{
+    table.print();
+    tables_.push_back(table.to_json());
+}
 
 qml::Benchmark
 load_benchmark(const std::string &name, const RunOptions &options)
@@ -341,6 +391,7 @@ run_elivagar(const qml::Benchmark &bench, const dev::Device &device,
     config.repcap.samples_per_class = options.repcap_samples_per_class;
     config.repcap.param_inits = options.repcap_param_inits;
     config.seed = options.seed ^ 0xe1ULL;
+    config.threads = options.threads;
 
     // Embedding budget cannot exceed the rotation budget.
     config.candidate.num_embeds =

@@ -16,7 +16,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/table.hpp"
 #include "compiler/passes.hpp"
 #include "core/candidate_gen.hpp"
 #include "device/device.hpp"
@@ -65,7 +67,43 @@ struct RunOptions
      * whose effective noise exceeds our calibrated simulators'. */
     double noise_scale = 1.0;
 
+    /** Search threads (0 = one per hardware thread, 1 = serial). */
+    int threads = 0;
+
     std::uint64_t seed = 1;
+};
+
+/**
+ * Shared reporting sink for the bench binaries. Parses the common CLI
+ * flags — `--json` (dump the run's tables to BENCH_<name>.json in the
+ * working directory on destruction) and `--threads N` (search
+ * parallelism; 0 = one per hardware thread) — echoes every table to
+ * stdout as it is added, and buffers its JSON form for the dump.
+ */
+class Reporter
+{
+  public:
+    Reporter(std::string name, int argc, char **argv);
+
+    /** Writes BENCH_<name>.json when --json was given. */
+    ~Reporter();
+
+    Reporter(const Reporter &) = delete;
+    Reporter &operator=(const Reporter &) = delete;
+
+    /** Print the table to stdout and buffer it for the JSON report. */
+    void add(const elv::Table &table);
+
+    bool json_enabled() const { return json_; }
+
+    /** --threads value; feed into RunOptions::threads. */
+    int threads() const { return threads_; }
+
+  private:
+    std::string name_;
+    bool json_ = false;
+    int threads_ = 0;
+    std::vector<std::string> tables_;
 };
 
 /** One method-on-cell outcome. */

@@ -7,7 +7,7 @@
  *
  * Usage:
  *   elivagar_cli [--benchmark NAME] [--device NAME] [--candidates N]
- *                [--epochs N] [--seed N] [--scale F]
+ *                [--epochs N] [--seed N] [--scale F] [--threads N]
  *                [--emit text|qasm] [--list]
  */
 #include <cstdio>
@@ -36,6 +36,7 @@ struct CliOptions
     std::string emit; // "", "text" or "qasm"
     std::string checkpoint;
     double fault_rate = 0.0;
+    int threads = 0; // 0 = one per hardware thread
 };
 
 void
@@ -49,6 +50,8 @@ print_usage()
         "  --epochs N         training epochs (default 40)\n"
         "  --seed N           search/data seed (default 7)\n"
         "  --scale F          dataset scale in (0,1] (default 0.3)\n"
+        "  --threads N        search worker threads (default: all "
+        "hardware threads; results are identical for any N)\n"
         "  --emit text|qasm   print the selected circuit\n"
         "  --checkpoint PATH  journal the search; resumes if PATH "
         "exists\n"
@@ -80,6 +83,8 @@ parse(int argc, char **argv, CliOptions &options)
                 std::strtoull(value(), nullptr, 10));
         else if (arg == "--scale")
             options.scale = std::atof(value());
+        else if (arg == "--threads")
+            options.threads = std::atoi(value());
         else if (arg == "--emit")
             options.emit = value();
         else if (arg == "--checkpoint")
@@ -134,6 +139,7 @@ main(int argc, char **argv)
         config.candidate.num_meas = bench.spec.meas;
         config.candidate.num_features = bench.spec.dim;
         config.seed = options.seed;
+        config.threads = options.threads < 0 ? 0 : options.threads;
         config.resilience.checkpoint_path = options.checkpoint;
         if (options.fault_rate > 0.0) {
             config.resilience.enabled = true;

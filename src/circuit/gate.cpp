@@ -72,6 +72,20 @@ gate_is_parametric(GateKind kind)
     return gate_num_params(kind) > 0;
 }
 
+bool
+gate_is_diagonal_1q(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::RZ:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::Z:
+        return true;
+      default:
+        return false;
+    }
+}
+
 std::string
 gate_name(GateKind kind)
 {

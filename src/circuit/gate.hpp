@@ -45,6 +45,13 @@ bool gate_is_clifford(GateKind kind);
 /** True for parametric rotation gates (RX/RY/RZ/U3/CRY). */
 bool gate_is_parametric(GateKind kind);
 
+/**
+ * True for 1-qubit gates whose unitary is diagonal (RZ/S/Sdg/Z); the
+ * simulators apply these with two scalar multiplies instead of a 2x2
+ * matmul.
+ */
+bool gate_is_diagonal_1q(GateKind kind);
+
 /** Printable mnemonic, e.g. "RX". */
 std::string gate_name(GateKind kind);
 

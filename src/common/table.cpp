@@ -1,6 +1,7 @@
 #include "common/table.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -80,6 +81,53 @@ void
 Table::print() const
 {
     print(std::cout);
+}
+
+std::string
+Table::json_escape(const std::string &text)
+{
+    std::string out = "\"";
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+Table::to_json() const
+{
+    auto cells = [](const std::vector<std::string> &row) {
+        std::string out = "[";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out += ", ";
+            out += json_escape(row[c]);
+        }
+        return out + "]";
+    };
+    std::string out = "{\"title\": " + json_escape(title_) +
+                      ", \"header\": " + cells(header_) + ", \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (r)
+            out += ", ";
+        out += cells(rows_[r]);
+    }
+    return out + "]}";
 }
 
 } // namespace elv

@@ -35,6 +35,23 @@ class Table
     /** Render to stdout. */
     void print() const;
 
+    const std::string &title() const { return title_; }
+    const std::vector<std::string> &header() const { return header_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
+    /**
+     * Render as a JSON object {"title", "header", "rows"} (cells stay
+     * strings; consumers parse numbers as needed). Used by the bench
+     * binaries' --json reports.
+     */
+    std::string to_json() const;
+
+    /** JSON string literal (quoted, escaped) for `text`. */
+    static std::string json_escape(const std::string &text);
+
   private:
     std::string title_;
     std::vector<std::string> header_;

@@ -1,13 +1,16 @@
 #include "core/search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
+#include <mutex>
 
 #include "circuit/serialize.hpp"
 #include "common/logging.hpp"
 #include "core/checkpoint.hpp"
 #include "exec/resilient.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace elv::core {
 
@@ -89,13 +92,18 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
     ELV_REQUIRE(config.num_candidates >= 1, "need at least one candidate");
     ELV_REQUIRE(config.keep_fraction > 0.0 && config.keep_fraction <= 1.0,
                 "bad keep fraction");
+    ELV_REQUIRE(config.threads >= 0, "bad thread count");
     train.check();
     device.validate();
 
     SearchResult result;
 
     // Crash-safe journal: replay completed stages, append new ones.
+    // All journal access from worker tasks goes through this mutex —
+    // the journal is a single serialized writer, so records stay
+    // untorn and the resume map is never mutated concurrently.
     std::unique_ptr<SearchJournal> journal;
+    std::mutex journal_mutex;
     if (!config.resilience.checkpoint_path.empty()) {
         journal = std::make_unique<SearchJournal>(
             config.resilience.checkpoint_path,
@@ -103,30 +111,53 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
         result.resumed = journal->load();
     }
 
-    // Resilient executor shared by the whole CNR stage: retry counters,
-    // the degradation ladder, and the simulated deadline budget span
-    // the run, not a single candidate.
-    std::unique_ptr<exec::ResilientExecutor> executor;
-    CnrOptions cnr_options = config.cnr;
-    if (config.resilience.enabled) {
-        executor = std::make_unique<exec::ResilientExecutor>(
+    par::ThreadPool pool(config.threads);
+    const auto pool_size =
+        static_cast<std::size_t>(config.num_candidates);
+
+    // Every candidate owns its ResilientExecutor (ladder, retry state,
+    // fault streams seeded per candidate), so evaluations stay
+    // order-independent under concurrency. crash_after is the one
+    // cross-candidate fault: it means "after N successes across the
+    // whole search", so the injectors share one execution clock.
+    exec::FaultConfig faults = config.resilience.faults;
+    if (config.resilience.enabled && faults.crash_after > 0 &&
+        !faults.crash_clock)
+        faults.crash_clock =
+            std::make_shared<std::atomic<std::uint64_t>>(0);
+    auto make_executor = [&](std::size_t n) {
+        return std::make_unique<exec::ResilientExecutor>(
             device, cnr_backend_kind(config.cnr.backend),
             config.cnr.shots, config.cnr.noise_scale,
-            config.resilience.retry, config.resilience.faults,
-            stage_seed(config.seed, 0xe8ec, 0));
-        cnr_options.executor = executor.get();
-    }
+            config.resilience.retry, faults,
+            stage_seed(config.seed, 0xe8ec, n));
+    };
+    // Replays a journaled entry for candidate n, if present. The
+    // returned pointer is stable (map node) and its fields are only
+    // ever written by candidate n's own task, so reading it outside
+    // the lock afterwards is race-free.
+    auto journal_entry = [&](std::size_t n) -> const CheckpointEntry * {
+        if (!journal)
+            return nullptr;
+        std::lock_guard<std::mutex> lock(journal_mutex);
+        return journal->entry(static_cast<int>(n));
+    };
 
     // Step 1: candidate generation. Cheap and fully deterministic in
-    // the seed, so a resumed search regenerates the pool and verifies
-    // it against the journal instead of trusting the file blindly.
-    elv::Rng gen_rng(config.seed ^ 0xe11a6a42ULL);
-    for (int n = 0; n < config.num_candidates; ++n) {
-        CandidateRecord record;
-        record.circuit = generate_candidate(device, config.candidate,
-                                            gen_rng);
+    // the seed — one stream per candidate, so the pool is identical
+    // for every thread count — and a resumed search regenerates the
+    // pool and verifies it against the journal instead of trusting
+    // the file blindly.
+    result.candidates.resize(pool_size);
+    pool.parallel_for(pool_size, [&](std::size_t n) {
+        auto &record = result.candidates[n];
+        elv::Rng gen_rng(stage_seed(config.seed, 0xe11a, n));
+        record.circuit =
+            generate_candidate(device, config.candidate, gen_rng);
         if (journal) {
-            const CheckpointEntry *entry = journal->entry(n);
+            std::lock_guard<std::mutex> lock(journal_mutex);
+            const CheckpointEntry *entry =
+                journal->entry(static_cast<int>(n));
             if (entry && !entry->circuit_line.empty()) {
                 if (entry->circuit_line !=
                     circ::to_text_line(record.circuit))
@@ -136,26 +167,42 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
                         " does not match the regenerated pool; the "
                         "journal belongs to a different run");
             } else {
-                journal->record_candidate(n, record.circuit);
+                journal->record_candidate(static_cast<int>(n),
+                                          record.circuit);
             }
         }
-        result.candidates.push_back(std::move(record));
-    }
+    });
 
     // Step 2: CNR for every candidate (replayed from the journal where
     // possible; each candidate draws from its own seeded stream).
+    // Per-candidate tallies land in index-addressed slots and are
+    // merged serially below, in candidate order, so the accounting —
+    // including the floating-point wait totals — is bit-identical to
+    // the serial run.
+    struct CnrStageStats
+    {
+        std::uint64_t executions = 0;
+        elv::RetryCounters counters;
+        exec::FaultCounters faults;
+        double wait_ms = 0.0;
+    };
     if (config.use_cnr) {
-        for (int n = 0; n < config.num_candidates; ++n) {
-            auto &record =
-                result.candidates[static_cast<std::size_t>(n)];
-            const CheckpointEntry *entry =
-                journal ? journal->entry(n) : nullptr;
+        std::vector<CnrStageStats> stats(pool_size);
+        pool.parallel_for(pool_size, [&](std::size_t n) {
+            auto &record = result.candidates[n];
+            const CheckpointEntry *entry = journal_entry(n);
             if (entry && entry->has_cnr) {
                 record.cnr = entry->cnr;
                 record.degraded = entry->degraded;
                 record.retries = entry->retries;
-                result.cnr_executions += entry->cnr_executions;
-                continue;
+                stats[n].executions = entry->cnr_executions;
+                return;
+            }
+            std::unique_ptr<exec::ResilientExecutor> executor;
+            CnrOptions cnr_options = config.cnr;
+            if (config.resilience.enabled) {
+                executor = make_executor(n);
+                cnr_options.executor = executor.get();
             }
             elv::Rng cnr_rng(stage_seed(config.seed, 0xc14, n));
             const CnrResult cnr = clifford_noise_resilience(
@@ -163,10 +210,24 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
             record.cnr = cnr.cnr;
             record.degraded = cnr.degraded;
             record.retries = cnr.retries;
-            result.cnr_executions += cnr.circuit_executions;
-            if (journal)
-                journal->record_cnr(n, cnr.cnr, cnr.circuit_executions,
-                                    cnr.degraded, cnr.retries);
+            stats[n].executions = cnr.circuit_executions;
+            if (executor) {
+                stats[n].counters = executor->counters();
+                stats[n].faults = executor->injected();
+                stats[n].wait_ms = executor->elapsed_ms();
+            }
+            if (journal) {
+                std::lock_guard<std::mutex> lock(journal_mutex);
+                journal->record_cnr(static_cast<int>(n), cnr.cnr,
+                                    cnr.circuit_executions, cnr.degraded,
+                                    cnr.retries);
+            }
+        });
+        for (std::size_t n = 0; n < pool_size; ++n) {
+            result.cnr_executions += stats[n].executions;
+            result.exec_counters += stats[n].counters;
+            result.fault_counters += stats[n].faults;
+            result.simulated_wait_ms += stats[n].wait_ms;
         }
 
         // Step 3: early rejection — below threshold or outside the top
@@ -203,25 +264,32 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
 
     // Step 4: RepCap for the survivors only (per-candidate streams,
     // replayed from the journal where possible).
-    for (int n = 0; n < config.num_candidates; ++n) {
-        auto &record = result.candidates[static_cast<std::size_t>(n)];
+    std::vector<std::uint64_t> repcap_execs(pool_size, 0);
+    pool.parallel_for(pool_size, [&](std::size_t n) {
+        auto &record = result.candidates[n];
         if (record.rejected_by_cnr)
-            continue;
-        ++result.survivors;
-        const CheckpointEntry *entry =
-            journal ? journal->entry(n) : nullptr;
+            return;
+        const CheckpointEntry *entry = journal_entry(n);
         if (entry && entry->has_repcap) {
             record.repcap = entry->repcap;
-            result.repcap_executions += entry->repcap_executions;
-            continue;
+            repcap_execs[n] = entry->repcap_executions;
+            return;
         }
         elv::Rng rc_rng(stage_seed(config.seed, 0x2e9ca9, n));
         const RepCapResult rc = representational_capacity(
             record.circuit, train, rc_rng, config.repcap);
         record.repcap = rc.repcap;
-        result.repcap_executions += rc.circuit_executions;
-        if (journal)
-            journal->record_repcap(n, rc.repcap, rc.circuit_executions);
+        repcap_execs[n] = rc.circuit_executions;
+        if (journal) {
+            std::lock_guard<std::mutex> lock(journal_mutex);
+            journal->record_repcap(static_cast<int>(n), rc.repcap,
+                                   rc.circuit_executions);
+        }
+    });
+    for (std::size_t n = 0; n < pool_size; ++n) {
+        if (!result.candidates[n].rejected_by_cnr)
+            ++result.survivors;
+        result.repcap_executions += repcap_execs[n];
     }
 
     // Step 5: composite score and final selection (Eq. 7).
@@ -244,12 +312,6 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
     ELV_REQUIRE(best != nullptr, "no surviving candidate");
     result.best_circuit = best->circuit;
     result.best_score = best->score;
-
-    if (executor) {
-        result.exec_counters = executor->counters();
-        result.fault_counters = executor->injected();
-        result.simulated_wait_ms = executor->elapsed_ms();
-    }
     return result;
 }
 

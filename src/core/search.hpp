@@ -21,6 +21,16 @@
  * exponential backoff, per-call/per-run deadline budgets, and a
  * Density -> Stabilizer -> Noiseless degradation ladder whose fallback
  * use is recorded per candidate.
+ *
+ * Parallelism: candidate generation, CNR and RepCap fan out over a
+ * work-stealing thread pool (ElivagarConfig::threads). The result is
+ * bit-identical for every thread count: each candidate owns its seeded
+ * RNG streams, its executor (retry/fault state included) and its
+ * journal records, and per-candidate tallies are merged in
+ * candidate-index order so even floating-point accumulation order is
+ * fixed. Journal writes are serialized through a single mutex-guarded
+ * writer, keeping crash-resume valid under concurrency (see
+ * DESIGN.md, "Parallel execution model").
  */
 #pragma once
 
@@ -85,6 +95,13 @@ struct ElivagarConfig
     bool use_cnr = true;
     /** Search seed. */
     std::uint64_t seed = 0;
+    /**
+     * Worker threads for generation/CNR/RepCap (1 = run serially on the
+     * calling thread, 0 = one per hardware thread). Any value yields
+     * bit-identical results; excluded from config_fingerprint so a
+     * checkpointed run can resume under a different thread count.
+     */
+    int threads = 1;
     /** Fault tolerance, degradation and checkpointing. */
     SearchResilience resilience;
 };
@@ -140,7 +157,8 @@ struct SearchResult
  * Fingerprint of the configuration fields that determine search
  * results. Fault-injection and retry knobs are excluded on purpose: a
  * run interrupted by injected faults must be resumable with the faults
- * turned off.
+ * turned off. `threads` is excluded too — thread count never changes
+ * results, so a journal written at one count resumes at any other.
  */
 std::uint64_t config_fingerprint(const ElivagarConfig &config);
 

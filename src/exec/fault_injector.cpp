@@ -85,7 +85,9 @@ FaultInjector::before_call(const char *what)
 {
     if (!active_)
         return;
-    if (config_.crash_after > 0 && executions_ >= config_.crash_after) {
+    const std::uint64_t successes =
+        config_.crash_clock ? config_.crash_clock->load() : executions_;
+    if (config_.crash_after > 0 && successes >= config_.crash_after) {
         ++injected_.crashes;
         throw CrashError(std::string("injected crash during ") + what +
                          " (" + backend_name(kind()) + " backend)");
@@ -129,6 +131,8 @@ FaultInjector::replica_fidelity(const circ::Circuit &replica,
     before_call("replica fidelity");
     const double f = inner_->replica_fidelity(replica, rng);
     ++executions_;
+    if (active_ && config_.crash_clock)
+        config_.crash_clock->fetch_add(1);
     if (draw_garbage())
         return std::numeric_limits<double>::quiet_NaN();
     return f;
@@ -143,6 +147,8 @@ FaultInjector::run_distribution(const circ::Circuit &circuit,
     before_call("distribution");
     auto probs = inner_->run_distribution(circuit, params, x, rng);
     ++executions_;
+    if (active_ && config_.crash_clock)
+        config_.crash_clock->fetch_add(1);
     if (draw_garbage() && !probs.empty()) {
         // Half the garbage is NaN poison, half is unnormalized mass —
         // both must be caught by validate_distribution downstream.

@@ -12,6 +12,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -43,6 +44,14 @@ struct FaultConfig
      * checkpoint/resume tests.
      */
     std::uint64_t crash_after = 0;
+    /**
+     * Shared execution counter backing `crash_after`. When set, all
+     * injectors sharing the clock count successes jointly, so the crash
+     * fires after N successes across the whole search even when every
+     * candidate owns a private executor (the parallel search engine's
+     * layout). Null = count this injector's own executions only.
+     */
+    std::shared_ptr<std::atomic<std::uint64_t>> crash_clock;
     /** Restrict injection to one backend kind. */
     FaultTarget target = FaultTarget::All;
     /** Seed of the fault stream (independent of computation streams). */

@@ -1,0 +1,195 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+#include "common/logging.hpp"
+
+namespace elv::par {
+
+namespace {
+
+/**
+ * Set while the current thread is executing a pool task; a nested
+ * parallel_for from inside a task would deadlock waiting for workers
+ * that are busy running its caller, so nested calls degrade to inline
+ * loops instead.
+ */
+thread_local bool in_pool_task = false;
+
+} // namespace
+
+/** Shared completion state of one parallel_for call. */
+struct ThreadPool::Job
+{
+    std::atomic<std::size_t> remaining{0};
+    /** Set on the first failure; later tasks skip their body. */
+    std::atomic<bool> cancelled{false};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error; // guarded by mutex
+
+    void
+    finish_one()
+    {
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(mutex);
+            done_cv.notify_all();
+        }
+    }
+};
+
+int
+ThreadPool::hardware_threads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads <= 0 ? hardware_threads() : num_threads)
+{
+    ELV_REQUIRE(num_threads_ >= 1, "thread pool needs a positive size");
+    if (num_threads_ == 1)
+        return; // inline serial pool: no queues, no workers
+    queues_.reserve(static_cast<std::size_t>(num_threads_));
+    for (int w = 0; w < num_threads_; ++w)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(static_cast<std::size_t>(num_threads_));
+    for (int w = 0; w < num_threads_; ++w)
+        workers_.emplace_back(
+            [this, w] { worker_loop(static_cast<std::size_t>(w)); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    if (workers_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+bool
+ThreadPool::try_get_task(std::size_t worker, std::function<void()> &task)
+{
+    // Own deque first (front: oldest of the round-robin share)...
+    {
+        WorkerQueue &own = *queues_[worker];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            task = std::move(own.tasks.front());
+            own.tasks.pop_front();
+            return true;
+        }
+    }
+    // ...then steal from the back of the next non-empty victim.
+    const std::size_t n = queues_.size();
+    for (std::size_t k = 1; k < n; ++k) {
+        WorkerQueue &victim = *queues_[(worker + k) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            task = std::move(victim.tasks.back());
+            victim.tasks.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::worker_loop(std::size_t worker)
+{
+    for (;;) {
+        std::function<void()> task;
+        if (try_get_task(worker, task)) {
+            in_pool_task = true;
+            task();
+            in_pool_task = false;
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        if (stop_)
+            return;
+        // Re-check under the wake lock: a submitter enqueues before
+        // notifying, so a missed task means a pending notification.
+        lock.unlock();
+        if (try_get_task(worker, task)) {
+            in_pool_task = true;
+            task();
+            in_pool_task = false;
+            continue;
+        }
+        lock.lock();
+        if (stop_)
+            return;
+        wake_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+}
+
+void
+ThreadPool::parallel_for(std::size_t n,
+                         const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (num_threads_ == 1 || workers_.empty() || in_pool_task || n == 1) {
+        // Serial reference path (and nested-call fallback): index
+        // order, abort at the first exception like a plain loop.
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->remaining.store(n, std::memory_order_relaxed);
+
+    // One task per index, dealt round-robin across the worker deques;
+    // the stealing protocol rebalances whatever this static split gets
+    // wrong.
+    for (std::size_t i = 0; i < n; ++i) {
+        WorkerQueue &queue = *queues_[i % queues_.size()];
+        std::lock_guard<std::mutex> lock(queue.mutex);
+        queue.tasks.push_back([job, &body, i] {
+            if (!job->cancelled.load(std::memory_order_acquire)) {
+                try {
+                    body(i);
+                } catch (...) {
+                    job->cancelled.store(true,
+                                         std::memory_order_release);
+                    std::lock_guard<std::mutex> lock(job->mutex);
+                    if (!job->error)
+                        job->error = std::current_exception();
+                }
+            }
+            job->finish_one();
+        });
+    }
+    wake_cv_.notify_all();
+
+    // Help instead of blocking: the submitting thread drains tasks too,
+    // so an N-thread pool brings N+1 runners to each parallel region.
+    std::function<void()> task;
+    while (job->remaining.load(std::memory_order_acquire) > 0) {
+        if (try_get_task(0, task)) {
+            task();
+            task = nullptr;
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(job->mutex);
+        job->done_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+            return job->remaining.load(std::memory_order_acquire) == 0;
+        });
+    }
+
+    std::lock_guard<std::mutex> lock(job->mutex);
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+} // namespace elv::par

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fixed-size work-stealing thread pool for the search pipeline.
+ *
+ * The pool owns N workers, each with its own task deque: a worker pops
+ * work from the front of its own deque and, when that runs dry, steals
+ * from the back of a victim's. `parallel_for` distributes one task per
+ * index round-robin across the deques, blocks until every task has
+ * finished, and rethrows the first exception raised by any task
+ * (remaining queued tasks are cancelled, mimicking the serial loop's
+ * abort-at-first-throw semantics; tasks already in flight complete).
+ *
+ * Determinism contract: the pool schedules work in an arbitrary order,
+ * so callers must make every task order-independent (own RNG stream,
+ * own executor state, writes confined to the task's own result slot)
+ * and merge results in index order afterwards. A pool of size 1 runs
+ * every task inline on the calling thread, in index order, with no
+ * worker threads at all — this is the bit-identical serial reference
+ * path that `elivagar_search(threads=1)` relies on.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace elv::par {
+
+/** Fixed-size work-stealing thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads worker count; 1 = inline serial execution
+     *        (no threads spawned), <= 0 = hardware_threads()
+     */
+    explicit ThreadPool(int num_threads = 0);
+
+    /** Joins all workers; pending tasks are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count (1 for the inline serial pool). */
+    int size() const { return num_threads_; }
+
+    /**
+     * Run body(0..n-1) across the pool and wait for completion. The
+     * first exception thrown by any body is rethrown here after every
+     * in-flight task has drained; queued-but-unstarted tasks are
+     * cancelled. Not reentrant: a body that calls parallel_for again
+     * runs the nested loop inline.
+     */
+    void parallel_for(std::size_t n,
+                      const std::function<void(std::size_t)> &body);
+
+    /**
+     * parallel_for that collects one result per index, in index order.
+     * T must be default-constructible.
+     */
+    template <typename T, typename Fn>
+    std::vector<T>
+    parallel_map(std::size_t n, Fn &&fn)
+    {
+        std::vector<T> out(n);
+        parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** Usable hardware threads (>= 1 even when detection fails). */
+    static int hardware_threads();
+
+  private:
+    struct Job;
+
+    void worker_loop(std::size_t worker);
+    /** Pop from own front, else steal from a victim's back. */
+    bool try_get_task(std::size_t worker, std::function<void()> &task);
+
+    /** One mutex-guarded deque per worker (stealable from the back). */
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    int num_threads_;
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+    std::mutex wake_mutex_;
+    std::condition_variable wake_cv_;
+    bool stop_ = false;
+};
+
+} // namespace elv::par

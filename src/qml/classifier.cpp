@@ -49,15 +49,8 @@ with_shot_noise(DistributionFn inner, int shots, std::uint64_t seed)
                                    "shot-noise provider input");
         std::vector<double> histogram(exact.size(), 0.0);
         for (int s = 0; s < shots; ++s) {
-            double u = rng->uniform();
-            std::size_t outcome = exact.size() - 1;
-            for (std::size_t k = 0; k < exact.size(); ++k) {
-                u -= exact[k];
-                if (u < 0.0) {
-                    outcome = k;
-                    break;
-                }
-            }
+            const std::size_t outcome =
+                sim::StateVector::sample_from(exact, *rng);
             histogram[outcome] += 1.0 / shots;
         }
         return histogram;

@@ -187,6 +187,33 @@ DensityMatrix::apply_op(const circ::Op &op,
         set_pure(psi);
         return;
     }
+    if (specialized_) {
+        const int n = num_qubits_;
+        switch (op.kind) {
+          case circ::GateKind::CX:
+            vec_.apply_cx(op.qubits[0], op.qubits[1]);
+            vec_.apply_cx(op.qubits[0] + n, op.qubits[1] + n);
+            return;
+          case circ::GateKind::CZ:
+            vec_.apply_cz(op.qubits[0], op.qubits[1]);
+            vec_.apply_cz(op.qubits[0] + n, op.qubits[1] + n);
+            return;
+          case circ::GateKind::SWAP:
+            vec_.apply_swap(op.qubits[0], op.qubits[1]);
+            vec_.apply_swap(op.qubits[0] + n, op.qubits[1] + n);
+            return;
+          default:
+            break;
+        }
+        if (circ::gate_is_diagonal_1q(op.kind)) {
+            const auto angles = circ::op_angles(op, params, x);
+            const Mat2 u = gate_matrix_1q(op.kind, angles);
+            vec_.apply_diag_1q(u[0][0], u[1][1], op.qubits[0]);
+            vec_.apply_diag_1q(std::conj(u[0][0]), std::conj(u[1][1]),
+                               op.qubits[0] + n);
+            return;
+        }
+    }
     const auto angles = circ::op_angles(op, params, x);
     if (op.num_qubits() == 1)
         apply_1q(gate_matrix_1q(op.kind, angles), op.qubits[0]);

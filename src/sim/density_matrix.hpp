@@ -70,6 +70,15 @@ class DensityMatrix
 
     /** @} */
 
+    /**
+     * Route apply_op through the specialized state-vector kernels
+     * (default on). CX/CZ/SWAP are real permutation/phase matrices, so
+     * the conjugate column-half application reuses the same kernel;
+     * diagonal 1-qubit gates conjugate the two diagonal entries. The
+     * win is compound here: every gate hits rho twice.
+     */
+    void use_specialized_kernels(bool on) { specialized_ = on; }
+
     /** Apply one IR op with resolved parameters (no noise). */
     void apply_op(const circ::Op &op, const std::vector<double> &params,
                   const std::vector<double> &x);
@@ -92,6 +101,7 @@ class DensityMatrix
     int num_qubits_;
     /** 2n-qubit vectorized representation of rho. */
     StateVector vec_;
+    bool specialized_ = true;
 };
 
 } // namespace elv::sim

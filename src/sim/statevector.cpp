@@ -6,6 +6,17 @@
 
 namespace elv::sim {
 
+namespace {
+
+/** Insert a zero bit at the position of `mask`: bits >= mask shift up. */
+inline std::size_t
+insert_zero_bit(std::size_t v, std::size_t mask)
+{
+    return ((v & ~(mask - 1)) << 1) | (v & (mask - 1));
+}
+
+} // namespace
+
 StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits)
 {
     ELV_REQUIRE(num_qubits >= 1 && num_qubits <= 26,
@@ -47,10 +58,14 @@ StateVector::apply_2q(const Mat4 &u, int q0, int q1)
                 "bad 2-qubit operands");
     const std::size_t m0 = std::size_t{1} << q0;
     const std::size_t m1 = std::size_t{1} << q1;
-    const std::size_t dim = amps_.size();
-    for (std::size_t i = 0; i < dim; ++i) {
-        if ((i & m0) || (i & m1))
-            continue;
+    const std::size_t lo = m0 < m1 ? m0 : m1;
+    const std::size_t hi = m0 < m1 ? m1 : m0;
+    // Gather the dim/4 index groups directly instead of scanning all
+    // dim indices and skipping the 3/4 with a q0/q1 bit set.
+    const std::size_t groups = amps_.size() >> 2;
+    for (std::size_t g = 0; g < groups; ++g) {
+        const std::size_t i =
+            insert_zero_bit(insert_zero_bit(g, lo), hi);
         // Local basis |q0 q1>: index = 2 * bit(q0) + bit(q1).
         const std::size_t idx[4] = {i, i | m1, i | m0, i | m0 | m1};
         Amp in[4];
@@ -66,12 +81,104 @@ StateVector::apply_2q(const Mat4 &u, int q0, int q1)
 }
 
 void
+StateVector::apply_cx(int control, int target)
+{
+    ELV_REQUIRE(control >= 0 && control < num_qubits_ && target >= 0 &&
+                    target < num_qubits_ && control != target,
+                "bad 2-qubit operands");
+    const std::size_t mc = std::size_t{1} << control;
+    const std::size_t mt = std::size_t{1} << target;
+    const std::size_t lo = mc < mt ? mc : mt;
+    const std::size_t hi = mc < mt ? mt : mc;
+    const std::size_t groups = amps_.size() >> 2;
+    for (std::size_t g = 0; g < groups; ++g) {
+        const std::size_t i =
+            insert_zero_bit(insert_zero_bit(g, lo), hi);
+        std::swap(amps_[i | mc], amps_[i | mc | mt]);
+    }
+}
+
+void
+StateVector::apply_cz(int q0, int q1)
+{
+    ELV_REQUIRE(q0 >= 0 && q0 < num_qubits_ && q1 >= 0 &&
+                    q1 < num_qubits_ && q0 != q1,
+                "bad 2-qubit operands");
+    const std::size_t m0 = std::size_t{1} << q0;
+    const std::size_t m1 = std::size_t{1} << q1;
+    const std::size_t lo = m0 < m1 ? m0 : m1;
+    const std::size_t hi = m0 < m1 ? m1 : m0;
+    const std::size_t groups = amps_.size() >> 2;
+    for (std::size_t g = 0; g < groups; ++g) {
+        const std::size_t i =
+            insert_zero_bit(insert_zero_bit(g, lo), hi) | m0 | m1;
+        amps_[i] = -amps_[i];
+    }
+}
+
+void
+StateVector::apply_swap(int q0, int q1)
+{
+    ELV_REQUIRE(q0 >= 0 && q0 < num_qubits_ && q1 >= 0 &&
+                    q1 < num_qubits_ && q0 != q1,
+                "bad 2-qubit operands");
+    const std::size_t m0 = std::size_t{1} << q0;
+    const std::size_t m1 = std::size_t{1} << q1;
+    const std::size_t lo = m0 < m1 ? m0 : m1;
+    const std::size_t hi = m0 < m1 ? m1 : m0;
+    const std::size_t groups = amps_.size() >> 2;
+    for (std::size_t g = 0; g < groups; ++g) {
+        const std::size_t i =
+            insert_zero_bit(insert_zero_bit(g, lo), hi);
+        std::swap(amps_[i | m0], amps_[i | m1]);
+    }
+}
+
+void
+StateVector::apply_diag_1q(Amp d0, Amp d1, int q)
+{
+    ELV_REQUIRE(q >= 0 && q < num_qubits_, "qubit out of range");
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t dim = amps_.size();
+    for (std::size_t base = 0; base < dim; base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; ++off) {
+            amps_[base + off] *= d0;
+            amps_[base + off + stride] *= d1;
+        }
+    }
+}
+
+void
 StateVector::apply_op(const circ::Op &op, const std::vector<double> &params,
                       const std::vector<double> &x)
 {
     if (op.kind == circ::GateKind::AmpEmbed) {
         set_amplitude_embedding(x);
         return;
+    }
+    if (specialized_) {
+        // Permutation/phase gates: no matrix, no multiplies.
+        switch (op.kind) {
+          case circ::GateKind::CX:
+            apply_cx(op.qubits[0], op.qubits[1]);
+            return;
+          case circ::GateKind::CZ:
+            apply_cz(op.qubits[0], op.qubits[1]);
+            return;
+          case circ::GateKind::SWAP:
+            apply_swap(op.qubits[0], op.qubits[1]);
+            return;
+          default:
+            break;
+        }
+        if (circ::gate_is_diagonal_1q(op.kind)) {
+            // Take the diagonal from the shared matrix factory so the
+            // fast path can never drift from the generic one.
+            const auto angles = circ::op_angles(op, params, x);
+            const Mat2 u = gate_matrix_1q(op.kind, angles);
+            apply_diag_1q(u[0][0], u[1][1], op.qubits[0]);
+            return;
+        }
     }
     const auto angles = circ::op_angles(op, params, x);
     if (op.num_qubits() == 1)
@@ -174,7 +281,13 @@ StateVector::probabilities_full() const
 std::size_t
 StateVector::sample(const std::vector<int> &qubits, elv::Rng &rng) const
 {
-    const auto probs = probabilities(qubits);
+    return sample_from(probabilities(qubits), rng);
+}
+
+std::size_t
+StateVector::sample_from(const std::vector<double> &probs, elv::Rng &rng)
+{
+    ELV_REQUIRE(!probs.empty(), "cannot sample an empty distribution");
     double x = rng.uniform();
     for (std::size_t k = 0; k < probs.size(); ++k) {
         x -= probs[k];

@@ -42,6 +42,36 @@ class StateVector
     /** Apply a 2-qubit unitary (basis |q0 q1>, see unitaries.hpp). */
     void apply_2q(const Mat4 &u, int q0, int q1);
 
+    /** @name Specialized gate kernels @{
+     *
+     * Permutation/phase/diagonal fast paths used by apply_op in place
+     * of the generic dense kernels: CX/CZ/SWAP touch no matrix at all
+     * and diagonal 1-qubit gates (RZ/S/Sdg/Z) cost two multiplies per
+     * amplitude pair. All match the generic matmul path bit-for-bit on
+     * finite states.
+     */
+
+    /** CX with control `control`, target `target`. */
+    void apply_cx(int control, int target);
+
+    /** CZ on the pair (symmetric). */
+    void apply_cz(int q0, int q1);
+
+    /** SWAP of two qubits. */
+    void apply_swap(int q0, int q1);
+
+    /** Diagonal 1-qubit gate diag(d0, d1) on qubit q. */
+    void apply_diag_1q(Amp d0, Amp d1, int q);
+
+    /**
+     * Route apply_op through the specialized kernels (default on).
+     * Off = always use the generic dense matmul kernels; kept for the
+     * kernel-equivalence tests and the bench comparison.
+     */
+    void use_specialized_kernels(bool on) { specialized_ = on; }
+
+    /** @} */
+
     /** Apply one IR operation with resolved parameters. */
     void apply_op(const circ::Op &op, const std::vector<double> &params,
                   const std::vector<double> &x);
@@ -82,9 +112,19 @@ class StateVector
     /** Sample one outcome over `qubits` from the Born distribution. */
     std::size_t sample(const std::vector<int> &qubits, elv::Rng &rng) const;
 
+    /**
+     * Sample one outcome from a precomputed distribution. Shot loops
+     * must compute probabilities() once and call this per shot; the
+     * qubit-list overload recomputes the full marginal every call,
+     * which is quadratic in shots x dim.
+     */
+    static std::size_t sample_from(const std::vector<double> &probs,
+                                   elv::Rng &rng);
+
   private:
     int num_qubits_;
     std::vector<Amp> amps_;
+    bool specialized_ = true;
 };
 
 } // namespace elv::sim
