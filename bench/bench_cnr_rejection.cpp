@@ -26,6 +26,7 @@ main(int argc, char **argv)
     using namespace elv;
 
     elv::bench::Reporter reporter("cnr_rejection", argc, argv);
+    reporter.set_seed(42);
 
     const dev::Device device = dev::make_device("ibmq_manila");
     elv::Rng rng(42);

@@ -57,6 +57,7 @@ main(int argc, char **argv)
 
     RunOptions options;
     options.threads = reporter.threads();
+    reporter.set_seed(options.seed);
     options.max_train_samples = 120;
     options.epochs = 25;
 

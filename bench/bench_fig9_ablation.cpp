@@ -39,6 +39,7 @@ main(int argc, char **argv)
 
     RunOptions options;
     options.threads = reporter.threads();
+    reporter.set_seed(options.seed);
     options.max_train_samples = 120;
     options.epochs = 25;
     // The paper's ablation runs on real hardware; amplify the

@@ -41,6 +41,7 @@ main(int argc, char **argv)
     config.repcap.param_inits = 2;
     config.seed = 42;
     config.threads = reporter.threads();
+    reporter.set_seed(config.seed);
     config.resilience.enabled = true;
     config.resilience.retry.max_attempts = 8;
 

@@ -287,6 +287,7 @@ run_comparisons(int argc, char **argv)
     args.push_back(force_json);
     bench::Reporter reporter("parallel", static_cast<int>(args.size()),
                              args.data());
+    reporter.set_seed(7);
 
     // Part 1: specialized kernels vs generic dense matmul, one thread.
     Table kernels(

@@ -53,6 +53,7 @@ main(int argc, char **argv)
 
     RunOptions options;
     options.threads = reporter.threads();
+    reporter.set_seed(options.seed);
     options.max_train_samples = 240;
     options.epochs = 20;
     // Tilt toward the paper's training-heavy regime: SuperCircuit

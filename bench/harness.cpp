@@ -12,9 +12,12 @@
 #include "baselines/simple.hpp"
 #include "baselines/supercircuit.hpp"
 #include "common/logging.hpp"
+#include "common/runinfo.hpp"
 #include "compiler/compile.hpp"
 #include "core/search.hpp"
 #include "noise/noise_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "qml/trainer.hpp"
 
 namespace elv::bench {
@@ -85,15 +88,35 @@ Reporter::Reporter(std::string name, int argc, char **argv)
             threads_ = std::atoi(argv[++i]);
             if (threads_ < 0)
                 threads_ = 0;
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path_ = argv[++i];
+        } else if (arg == "--metrics") {
+            metrics_ = true;
         } else {
             std::cerr << "bench_" << name_ << ": ignoring unknown option '"
-                      << arg << "' (known: --json, --threads N)\n";
+                      << arg
+                      << "' (known: --json, --threads N, --trace FILE, "
+                         "--metrics)\n";
         }
     }
+    if (metrics_)
+        elv::obs::Registry::global().set_enabled(true);
+    if (!trace_path_.empty())
+        elv::obs::Tracer::global().start();
 }
 
 Reporter::~Reporter()
 {
+    if (!trace_path_.empty() &&
+        elv::obs::Tracer::global().write(trace_path_))
+        std::cout << "wrote " << trace_path_ << "\n";
+    if (metrics_) {
+        const auto snap = elv::obs::Registry::global().snapshot();
+        std::cout << "metrics:\n";
+        for (const auto &counter : snap.counters)
+            std::cout << "  " << counter.name << " " << counter.value
+                      << "\n";
+    }
     if (!json_)
         return;
     const std::string path = "BENCH_" + name_ + ".json";
@@ -104,7 +127,23 @@ Reporter::~Reporter()
         return;
     }
     out << "{\"bench\": " << Table::json_escape(name_)
-        << ", \"threads\": " << threads_ << ", \"tables\": [";
+        << ", \"threads\": " << threads_
+        << ", \"seed\": " << seed_
+        << ", \"version\": " << Table::json_escape(elv::version_string())
+        << ", \"timestamp\": "
+        << Table::json_escape(elv::iso8601_utc_now());
+    if (metrics_) {
+        const auto snap = elv::obs::Registry::global().snapshot();
+        out << ", \"metrics\": {";
+        for (std::size_t c = 0; c < snap.counters.size(); ++c) {
+            if (c)
+                out << ", ";
+            out << Table::json_escape(snap.counters[c].name) << ": "
+                << snap.counters[c].value;
+        }
+        out << "}";
+    }
+    out << ", \"tables\": [";
     for (std::size_t t = 0; t < tables_.size(); ++t) {
         if (t)
             out << ", ";

@@ -76,16 +76,23 @@ struct RunOptions
 /**
  * Shared reporting sink for the bench binaries. Parses the common CLI
  * flags — `--json` (dump the run's tables to BENCH_<name>.json in the
- * working directory on destruction) and `--threads N` (search
- * parallelism; 0 = one per hardware thread) — echoes every table to
- * stdout as it is added, and buffers its JSON form for the dump.
+ * working directory on destruction), `--threads N` (search parallelism;
+ * 0 = one per hardware thread), `--trace FILE` (record a Chrome trace
+ * of the whole run, written on destruction) and `--metrics` (collect
+ * pipeline metrics; printed on destruction and embedded in the JSON
+ * dump) — echoes every table to stdout as it is added, and buffers its
+ * JSON form for the dump.
+ *
+ * JSON dumps carry run provenance (seed, thread count, build version,
+ * ISO-8601 timestamp) so archived result trajectories stay comparable
+ * across machines and commits.
  */
 class Reporter
 {
   public:
     Reporter(std::string name, int argc, char **argv);
 
-    /** Writes BENCH_<name>.json when --json was given. */
+    /** Writes BENCH_<name>.json / the trace file when requested. */
     ~Reporter();
 
     Reporter(const Reporter &) = delete;
@@ -99,10 +106,16 @@ class Reporter
     /** --threads value; feed into RunOptions::threads. */
     int threads() const { return threads_; }
 
+    /** Record the run's seed for the JSON metadata. */
+    void set_seed(std::uint64_t seed) { seed_ = seed; }
+
   private:
     std::string name_;
     bool json_ = false;
     int threads_ = 0;
+    std::uint64_t seed_ = 0;
+    std::string trace_path_;
+    bool metrics_ = false;
     std::vector<std::string> tables_;
 };
 

@@ -8,7 +8,12 @@
  * Usage:
  *   elivagar_cli [--benchmark NAME] [--device NAME] [--candidates N]
  *                [--epochs N] [--seed N] [--scale F] [--threads N]
- *                [--emit text|qasm] [--list]
+ *                [--emit text|qasm] [--trace FILE] [--metrics]
+ *                [--report FILE] [--list]
+ *
+ * Observability: --trace writes a Chrome trace_event JSON (open in
+ * https://ui.perfetto.dev), --metrics turns on the counter registry and
+ * prints it after the run, --report writes the structured run report.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -17,9 +22,12 @@
 
 #include "circuit/serialize.hpp"
 #include "common/logging.hpp"
+#include "core/run_report.hpp"
 #include "core/search.hpp"
 #include "device/device.hpp"
 #include "noise/noise_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "qml/synthetic.hpp"
 #include "qml/trainer.hpp"
 
@@ -37,6 +45,9 @@ struct CliOptions
     std::string checkpoint;
     double fault_rate = 0.0;
     int threads = 0; // 0 = one per hardware thread
+    std::string trace_path;
+    std::string report_path;
+    bool metrics = false;
 };
 
 void
@@ -57,6 +68,10 @@ print_usage()
         "exists\n"
         "  --fault-rate F     inject transient backend faults with "
         "probability F\n"
+        "  --trace FILE       write a Chrome trace of the search "
+        "(Perfetto-viewable)\n"
+        "  --metrics          collect and print pipeline metrics\n"
+        "  --report FILE      write the structured run report JSON\n"
         "  --list             list benchmarks and devices, then exit\n");
 }
 
@@ -91,6 +106,12 @@ parse(int argc, char **argv, CliOptions &options)
             options.checkpoint = value();
         else if (arg == "--fault-rate")
             options.fault_rate = std::atof(value());
+        else if (arg == "--trace")
+            options.trace_path = value();
+        else if (arg == "--report")
+            options.report_path = value();
+        else if (arg == "--metrics")
+            options.metrics = true;
         else if (arg == "--list") {
             std::printf("benchmarks:");
             for (const auto &spec : elv::qml::benchmark_table())
@@ -147,6 +168,15 @@ main(int argc, char **argv)
             config.resilience.retry.max_attempts = 8;
         }
 
+        // Observability covers the search pipeline: tracing/metrics go
+        // live just before elivagar_search and the artifacts are
+        // written as soon as it returns, so the trace stays scoped to
+        // the phase/candidate spans (training is far chattier).
+        if (options.metrics)
+            obs::Registry::global().set_enabled(true);
+        if (!options.trace_path.empty())
+            obs::Tracer::global().start();
+
         const auto found =
             core::elivagar_search(device, bench.train, config);
         std::printf("search: %d survivors of %d candidates, score "
@@ -156,6 +186,37 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         found.total_executions()),
                     found.resumed ? " (resumed from checkpoint)" : "");
+
+        if (!options.trace_path.empty() &&
+            obs::Tracer::global().write(options.trace_path))
+            std::printf("trace written to %s\n",
+                        options.trace_path.c_str());
+        if (!options.report_path.empty() &&
+            core::write_run_report(options.report_path, config, found))
+            std::printf("run report written to %s\n",
+                        options.report_path.c_str());
+        if (options.metrics) {
+            const auto snap = obs::Registry::global().snapshot();
+            std::printf("metrics:\n");
+            for (const auto &counter : snap.counters)
+                std::printf("  %-24s %llu\n", counter.name.c_str(),
+                            static_cast<unsigned long long>(
+                                counter.value));
+            for (const auto &gauge : snap.gauges)
+                std::printf("  %-24s %lld (max %lld)\n",
+                            gauge.name.c_str(),
+                            static_cast<long long>(gauge.value),
+                            static_cast<long long>(gauge.max));
+            for (const auto &hist : snap.histograms) {
+                std::uint64_t total = 0;
+                for (std::uint64_t count : hist.counts)
+                    total += count;
+                std::printf("  %-24s %llu observations\n",
+                            hist.name.c_str(),
+                            static_cast<unsigned long long>(total));
+            }
+        }
+
         if (config.resilience.enabled)
             std::printf("resilience: %llu faults injected, %llu "
                         "retries, %d degraded candidates, %.1f s "

@@ -1,6 +1,11 @@
 #include "common/logging.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 
 namespace elv {
 
@@ -25,16 +30,89 @@ throw_usage(const std::string &msg)
 
 } // namespace detail
 
+namespace {
+
+LogLevel
+level_from_env()
+{
+    const char *env = std::getenv("ELV_LOG_LEVEL");
+    if (!env)
+        return LogLevel::Info;
+    if (!std::strcmp(env, "silent") || !std::strcmp(env, "0"))
+        return LogLevel::Silent;
+    if (!std::strcmp(env, "warn") || !std::strcmp(env, "1"))
+        return LogLevel::Warn;
+    return LogLevel::Info;
+}
+
+std::atomic<int> &
+level_store()
+{
+    static std::atomic<int> level{static_cast<int>(level_from_env())};
+    return level;
+}
+
+/**
+ * Emit one fully-formatted line with a single fprintf so concurrent
+ * pool workers never interleave mid-line (POSIX stdio locks per call).
+ */
+void
+emit(const char *tag, const std::string &msg)
+{
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const int millis = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now.time_since_epoch())
+            .count() %
+        1000);
+    std::tm tm_buf{};
+    localtime_r(&secs, &tm_buf);
+    char stamp[16];
+    std::strftime(stamp, sizeof(stamp), "%H:%M:%S", &tm_buf);
+    std::fprintf(stderr, "[%s.%03d T%d] %s: %s\n", stamp, millis,
+                 thread_ordinal(), tag, msg.c_str());
+}
+
+} // namespace
+
+LogLevel
+log_level()
+{
+    return static_cast<LogLevel>(
+        level_store().load(std::memory_order_relaxed));
+}
+
+void
+set_log_level(LogLevel level)
+{
+    level_store().store(static_cast<int>(level),
+                        std::memory_order_relaxed);
+}
+
+int
+thread_ordinal()
+{
+    static std::atomic<int> next{0};
+    thread_local const int ordinal =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return ordinal;
+}
+
 void
 inform(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (log_level() < LogLevel::Info)
+        return;
+    emit("info", msg);
 }
 
 void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (log_level() < LogLevel::Warn)
+        return;
+    emit("warn", msg);
 }
 
 } // namespace elv

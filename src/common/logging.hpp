@@ -6,6 +6,13 @@
  * (bad configuration, invalid arguments), `ELV_REQUIRE` throws for
  * programmer errors (broken internal invariants), and `warn` / `inform`
  * print status without stopping execution.
+ *
+ * Messages carry a wall-clock timestamp and the caller's thread ordinal
+ * (`[14:03:22.123 T2] info: ...`) and are written with a single stdio
+ * call each, so lines from concurrent pool workers never interleave.
+ * The `ELV_LOG_LEVEL` environment variable (`silent` / `warn` / `info`)
+ * or set_log_level() silences lower-priority messages — benches set it
+ * to `warn` to keep multi-thread runs readable.
  */
 #pragma once
 
@@ -38,10 +45,29 @@ namespace detail {
 
 } // namespace detail
 
-/** Print an informational message to stderr. */
+/** Log verbosity, from quietest to loudest. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2 };
+
+/**
+ * Active log level. Initialized once from `ELV_LOG_LEVEL` (`silent`,
+ * `warn` or `info`; unset or unrecognized = `info`).
+ */
+LogLevel log_level();
+
+/** Override the log level (takes precedence over the env variable). */
+void set_log_level(LogLevel level);
+
+/**
+ * Small dense ordinal of the calling thread (0 = first caller, usually
+ * main). Stable for the thread's lifetime; used to prefix log lines,
+ * tag trace events, and shard metric counters.
+ */
+int thread_ordinal();
+
+/** Print an informational message to stderr (level >= Info). */
 void inform(const std::string &msg);
 
-/** Print a warning message to stderr. */
+/** Print a warning message to stderr (level >= Warn). */
 void warn(const std::string &msg);
 
 /** Report a user error: throws UsageError with the given message. */

@@ -1,0 +1,31 @@
+#include "common/runinfo.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace elv {
+
+const char *
+version_string()
+{
+#ifdef ELV_VERSION_STRING
+    return ELV_VERSION_STRING;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+iso8601_utc_now()
+{
+    const std::time_t now =
+        std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+    std::tm tm_buf{};
+    gmtime_r(&now, &tm_buf);
+    char out[24];
+    std::strftime(out, sizeof(out), "%Y-%m-%dT%H:%M:%SZ", &tm_buf);
+    return out;
+}
+
+} // namespace elv

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <mutex>
@@ -10,11 +11,60 @@
 #include "common/logging.hpp"
 #include "core/checkpoint.hpp"
 #include "exec/resilient.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace elv::core {
 
 namespace {
+
+/** Seconds elapsed since `start` (phase-timing rollups). */
+double
+seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** CNR-value histogram edges (scores live in [0, 1]). */
+const std::vector<double> &
+cnr_edges()
+{
+    static const std::vector<double> edges{0.1, 0.2, 0.3, 0.4, 0.5,
+                                           0.6, 0.7, 0.8, 0.9, 1.0};
+    return edges;
+}
+
+/**
+ * RAII phase rollup: opens a "phase.<name>" trace span and, on exit,
+ * appends the phase's wall-clock to the result's timing breakdown.
+ */
+class PhaseScope
+{
+  public:
+    PhaseScope(const char *name, SearchResult &result)
+        : name_(name), result_(result),
+          span_(std::string("phase.") + name, "search"),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~PhaseScope()
+    {
+        result_.phase_timings.push_back({name_, seconds_since(start_)});
+    }
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+  private:
+    const char *name_;
+    SearchResult &result_;
+    obs::TraceScope span_;
+    std::chrono::steady_clock::time_point start_;
+};
 
 /** splitmix64 finalizer — decorrelates structured seed inputs. */
 std::uint64_t
@@ -96,6 +146,15 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
     train.check();
     device.validate();
 
+    // Observability: one span covers the whole search; each pipeline
+    // step below records a nested phase span plus a PhaseTiming rollup,
+    // and candidate-level spans nest under the phases (args.i is the
+    // candidate index).
+    const auto search_start = std::chrono::steady_clock::now();
+    ELV_TRACE_SCOPE("elivagar_search", "search");
+    ELV_METRIC_COUNT_N("search.candidates",
+                       static_cast<std::uint64_t>(config.num_candidates));
+
     SearchResult result;
 
     // Crash-safe journal: replay completed stages, append new ones.
@@ -149,29 +208,35 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
     // pool and verifies it against the journal instead of trusting
     // the file blindly.
     result.candidates.resize(pool_size);
-    pool.parallel_for(pool_size, [&](std::size_t n) {
-        auto &record = result.candidates[n];
-        elv::Rng gen_rng(stage_seed(config.seed, 0xe11a, n));
-        record.circuit =
-            generate_candidate(device, config.candidate, gen_rng);
-        if (journal) {
-            std::lock_guard<std::mutex> lock(journal_mutex);
-            const CheckpointEntry *entry =
-                journal->entry(static_cast<int>(n));
-            if (entry && !entry->circuit_line.empty()) {
-                if (entry->circuit_line !=
-                    circ::to_text_line(record.circuit))
-                    elv::fatal(
-                        "journal " + config.resilience.checkpoint_path +
-                        ": candidate " + std::to_string(n) +
-                        " does not match the regenerated pool; the "
-                        "journal belongs to a different run");
-            } else {
-                journal->record_candidate(static_cast<int>(n),
-                                          record.circuit);
+    {
+        PhaseScope phase("generate", result);
+        pool.parallel_for(pool_size, [&](std::size_t n) {
+            ELV_TRACE_SCOPE("generate", "search.candidate",
+                            static_cast<std::int64_t>(n));
+            auto &record = result.candidates[n];
+            elv::Rng gen_rng(stage_seed(config.seed, 0xe11a, n));
+            record.circuit =
+                generate_candidate(device, config.candidate, gen_rng);
+            if (journal) {
+                std::lock_guard<std::mutex> lock(journal_mutex);
+                const CheckpointEntry *entry =
+                    journal->entry(static_cast<int>(n));
+                if (entry && !entry->circuit_line.empty()) {
+                    if (entry->circuit_line !=
+                        circ::to_text_line(record.circuit))
+                        elv::fatal(
+                            "journal " +
+                            config.resilience.checkpoint_path +
+                            ": candidate " + std::to_string(n) +
+                            " does not match the regenerated pool; the "
+                            "journal belongs to a different run");
+                } else {
+                    journal->record_candidate(static_cast<int>(n),
+                                              record.circuit);
+                }
             }
-        }
-    });
+        });
+    }
 
     // Step 2: CNR for every candidate (replayed from the journal where
     // possible; each candidate draws from its own seeded stream).
@@ -187,8 +252,11 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
         double wait_ms = 0.0;
     };
     if (config.use_cnr) {
+        PhaseScope phase("cnr", result);
         std::vector<CnrStageStats> stats(pool_size);
         pool.parallel_for(pool_size, [&](std::size_t n) {
+            ELV_TRACE_SCOPE("cnr", "search.candidate",
+                            static_cast<std::int64_t>(n));
             auto &record = result.candidates[n];
             const CheckpointEntry *entry = journal_entry(n);
             if (entry && entry->has_cnr) {
@@ -228,6 +296,8 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
             result.exec_counters += stats[n].counters;
             result.fault_counters += stats[n].faults;
             result.simulated_wait_ms += stats[n].wait_ms;
+            ELV_METRIC_OBSERVE("search.cnr", cnr_edges(),
+                               result.candidates[n].cnr);
         }
 
         // Step 3: early rejection — below threshold or outside the top
@@ -265,53 +335,63 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
     // Step 4: RepCap for the survivors only (per-candidate streams,
     // replayed from the journal where possible).
     std::vector<std::uint64_t> repcap_execs(pool_size, 0);
-    pool.parallel_for(pool_size, [&](std::size_t n) {
-        auto &record = result.candidates[n];
-        if (record.rejected_by_cnr)
-            return;
-        const CheckpointEntry *entry = journal_entry(n);
-        if (entry && entry->has_repcap) {
-            record.repcap = entry->repcap;
-            repcap_execs[n] = entry->repcap_executions;
-            return;
+    {
+        PhaseScope phase("repcap", result);
+        pool.parallel_for(pool_size, [&](std::size_t n) {
+            auto &record = result.candidates[n];
+            if (record.rejected_by_cnr)
+                return;
+            ELV_TRACE_SCOPE("repcap", "search.candidate",
+                            static_cast<std::int64_t>(n));
+            const CheckpointEntry *entry = journal_entry(n);
+            if (entry && entry->has_repcap) {
+                record.repcap = entry->repcap;
+                repcap_execs[n] = entry->repcap_executions;
+                return;
+            }
+            elv::Rng rc_rng(stage_seed(config.seed, 0x2e9ca9, n));
+            const RepCapResult rc = representational_capacity(
+                record.circuit, train, rc_rng, config.repcap);
+            record.repcap = rc.repcap;
+            repcap_execs[n] = rc.circuit_executions;
+            if (journal) {
+                std::lock_guard<std::mutex> lock(journal_mutex);
+                journal->record_repcap(static_cast<int>(n), rc.repcap,
+                                       rc.circuit_executions);
+            }
+        });
+        for (std::size_t n = 0; n < pool_size; ++n) {
+            if (!result.candidates[n].rejected_by_cnr)
+                ++result.survivors;
+            result.repcap_executions += repcap_execs[n];
         }
-        elv::Rng rc_rng(stage_seed(config.seed, 0x2e9ca9, n));
-        const RepCapResult rc = representational_capacity(
-            record.circuit, train, rc_rng, config.repcap);
-        record.repcap = rc.repcap;
-        repcap_execs[n] = rc.circuit_executions;
-        if (journal) {
-            std::lock_guard<std::mutex> lock(journal_mutex);
-            journal->record_repcap(static_cast<int>(n), rc.repcap,
-                                   rc.circuit_executions);
-        }
-    });
-    for (std::size_t n = 0; n < pool_size; ++n) {
-        if (!result.candidates[n].rejected_by_cnr)
-            ++result.survivors;
-        result.repcap_executions += repcap_execs[n];
     }
 
     // Step 5: composite score and final selection (Eq. 7).
     const CandidateRecord *best = nullptr;
-    for (int n = 0; n < config.num_candidates; ++n) {
-        auto &record = result.candidates[static_cast<std::size_t>(n)];
-        if (record.degraded)
-            ++result.degraded_candidates;
-        if (record.rejected_by_cnr)
-            continue;
-        record.score = std::pow(std::max(record.cnr, 0.0),
-                                config.alpha_cnr) *
-                       record.repcap;
-        if (!best || record.score > best->score)
-            best = &record;
-        if (journal)
-            journal->record_rank(n, record.score,
-                                 record.rejected_by_cnr);
+    {
+        PhaseScope phase("rank", result);
+        for (int n = 0; n < config.num_candidates; ++n) {
+            auto &record =
+                result.candidates[static_cast<std::size_t>(n)];
+            if (record.degraded)
+                ++result.degraded_candidates;
+            if (record.rejected_by_cnr)
+                continue;
+            record.score = std::pow(std::max(record.cnr, 0.0),
+                                    config.alpha_cnr) *
+                           record.repcap;
+            if (!best || record.score > best->score)
+                best = &record;
+            if (journal)
+                journal->record_rank(n, record.score,
+                                     record.rejected_by_cnr);
+        }
     }
     ELV_REQUIRE(best != nullptr, "no surviving candidate");
     result.best_circuit = best->circuit;
     result.best_score = best->score;
+    result.total_seconds = seconds_since(search_start);
     return result;
 }
 

@@ -123,6 +123,15 @@ struct CandidateRecord
     std::uint64_t retries = 0;
 };
 
+/** Wall-clock spent in one pipeline phase (observability rollup). */
+struct PhaseTiming
+{
+    /** Phase name: "generate", "cnr", "repcap" or "rank". */
+    std::string name;
+    /** Real seconds spent in the phase (timings vary, values don't). */
+    double seconds = 0.0;
+};
+
 /** Search output: the chosen circuit plus bookkeeping. */
 struct SearchResult
 {
@@ -145,11 +154,25 @@ struct SearchResult
     exec::FaultCounters fault_counters;
     /** Simulated wall-clock lost to queue waits and backoff (ms). */
     double simulated_wait_ms = 0.0;
+    /** Per-phase wall-clock breakdown, in pipeline order. */
+    std::vector<PhaseTiming> phase_timings;
+    /** End-to-end wall-clock of elivagar_search (seconds). */
+    double total_seconds = 0.0;
 
     std::uint64_t
     total_executions() const
     {
         return cnr_executions + repcap_executions;
+    }
+
+    /** Wall-clock of one phase by name (0 when absent). */
+    double
+    phase_seconds(const std::string &name) const
+    {
+        for (const PhaseTiming &phase : phase_timings)
+            if (phase.name == name)
+                return phase.seconds;
+        return 0.0;
     }
 };
 

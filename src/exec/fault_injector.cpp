@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace elv::exec {
 
@@ -64,6 +65,7 @@ void
 FaultInjector::apply_drift()
 {
     ++injected_.drifts;
+    ELV_METRIC_COUNT("fault.drifts");
     if (!drift_target_)
         return;
     // Perturb each calibration rate by an independent lognormal factor,
@@ -89,6 +91,7 @@ FaultInjector::before_call(const char *what)
         config_.crash_clock ? config_.crash_clock->load() : executions_;
     if (config_.crash_after > 0 && successes >= config_.crash_after) {
         ++injected_.crashes;
+        ELV_METRIC_COUNT("fault.crashes");
         throw CrashError(std::string("injected crash during ") + what +
                          " (" + backend_name(kind()) + " backend)");
     }
@@ -98,6 +101,7 @@ FaultInjector::before_call(const char *what)
     if (config_.timeout_rate > 0.0 &&
         fault_rng_.bernoulli(config_.timeout_rate)) {
         ++injected_.timeouts;
+        ELV_METRIC_COUNT("fault.timeouts");
         throw QueueTimeout(std::string("injected queue timeout during ") +
                                what + " (" + backend_name(kind()) +
                                " backend)",
@@ -106,6 +110,7 @@ FaultInjector::before_call(const char *what)
     if (config_.transient_rate > 0.0 &&
         fault_rng_.bernoulli(config_.transient_rate)) {
         ++injected_.transient;
+        ELV_METRIC_COUNT("fault.transient");
         throw BackendError(std::string("injected transient failure "
                                        "during ") +
                            what + " (" + backend_name(kind()) +
@@ -121,6 +126,7 @@ FaultInjector::draw_garbage()
     if (!fault_rng_.bernoulli(config_.garbage_rate))
         return false;
     ++injected_.garbage;
+    ELV_METRIC_COUNT("fault.garbage");
     return true;
 }
 

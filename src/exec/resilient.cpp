@@ -4,6 +4,22 @@
 
 #include "common/logging.hpp"
 #include "common/validate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+/** Backoff-delay histogram edges (simulated milliseconds). */
+const std::vector<double> &
+backoff_edges()
+{
+    static const std::vector<double> edges{10.0,    50.0,    100.0,
+                                           500.0,   1000.0,  5000.0,
+                                           10000.0, 30000.0, 60000.0};
+    return edges;
+}
+
+} // namespace
 
 namespace elv::exec {
 
@@ -111,7 +127,9 @@ template <typename Value, typename Attempt>
 Value
 ResilientExecutor::call(const circ::Circuit &circuit, Attempt &&attempt)
 {
+    ELV_TRACE_SCOPE("exec.call", "exec");
     ++counters_.calls;
+    ELV_METRIC_COUNT("exec.calls");
     report_ = CallReport{};
     int first_supported = -1;
     std::string last_error = "no backend supports this circuit";
@@ -133,27 +151,34 @@ ResilientExecutor::call(const circ::Circuit &circuit, Attempt &&attempt)
 
         for (int a = 0; a < attempts_allowed; ++a) {
             ++counters_.attempts;
+            ELV_METRIC_COUNT("exec.attempts");
             try {
                 Value value = attempt(rung);
                 report_.backend = rung.kind();
                 report_.rung = r;
                 report_.degraded = r != first_supported;
-                if (report_.degraded)
+                if (report_.degraded) {
                     ++counters_.degraded_calls;
+                    ELV_METRIC_COUNT("exec.degraded_calls");
+                }
                 ++executions_;
                 return value;
             } catch (const QueueTimeout &e) {
                 ++counters_.failures;
+                ELV_METRIC_COUNT("exec.failures");
                 clock_ms_ += e.waited_ms();
                 counters_.queue_wait_ms += e.waited_ms();
                 call_wait_ms += e.waited_ms();
                 last_error = e.what();
             } catch (const BackendError &e) {
                 ++counters_.failures;
+                ELV_METRIC_COUNT("exec.failures");
                 last_error = e.what();
             } catch (const elv::DistributionError &e) {
                 ++counters_.failures;
                 ++counters_.invalid_results;
+                ELV_METRIC_COUNT("exec.failures");
+                ELV_METRIC_COUNT("exec.invalid_results");
                 last_error = e.what();
             }
             // CrashError (and genuine bugs) propagate: a dead process
@@ -170,8 +195,11 @@ ResilientExecutor::call(const circ::Circuit &circuit, Attempt &&attempt)
             counters_.backoff_wait_ms += delay;
             ++counters_.retries;
             ++report_.retries;
+            ELV_METRIC_COUNT("exec.retries");
+            ELV_METRIC_OBSERVE("exec.backoff_ms", backoff_edges(), delay);
         }
         ++counters_.rungs_exhausted;
+        ELV_METRIC_COUNT("exec.rungs_exhausted");
     }
     throw BackendError("all execution backends exhausted; last error: " +
                        last_error);

@@ -1,0 +1,162 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+namespace elv::obs {
+
+void
+JsonWriter::pre_value()
+{
+    ELV_REQUIRE(!done_, "JSON document already complete");
+    if (is_object_.empty())
+        return; // top-level value
+    if (is_object_.back()) {
+        ELV_REQUIRE(pending_key_, "object member needs a key first");
+        pending_key_ = false;
+    } else if (has_element_.back()) {
+        out_ += ", ";
+    }
+    has_element_.back() = true;
+}
+
+JsonWriter &
+JsonWriter::begin_object()
+{
+    pre_value();
+    out_ += '{';
+    is_object_.push_back(true);
+    has_element_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_object()
+{
+    ELV_REQUIRE(!is_object_.empty() && is_object_.back() &&
+                    !pending_key_,
+                "no object to close here");
+    out_ += '}';
+    is_object_.pop_back();
+    has_element_.pop_back();
+    if (is_object_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::begin_array()
+{
+    pre_value();
+    out_ += '[';
+    is_object_.push_back(false);
+    has_element_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_array()
+{
+    ELV_REQUIRE(!is_object_.empty() && !is_object_.back(),
+                "no array to close here");
+    out_ += ']';
+    is_object_.pop_back();
+    has_element_.pop_back();
+    if (is_object_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    ELV_REQUIRE(!is_object_.empty() && is_object_.back() &&
+                    !pending_key_,
+                "key() only valid inside an object");
+    if (has_element_.back())
+        out_ += ", ";
+    out_ += Table::json_escape(k);
+    out_ += ": ";
+    has_element_.back() = true;
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    if (!pending_key_)
+        pre_value();
+    else
+        pending_key_ = false;
+    out_ += Table::json_escape(v);
+    if (is_object_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return raw("null");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return raw(buf);
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    return raw(std::to_string(v));
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    return raw(std::to_string(v));
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return raw(std::to_string(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    return raw(v ? "true" : "false");
+}
+
+JsonWriter &
+JsonWriter::raw(const std::string &json)
+{
+    if (!pending_key_)
+        pre_value();
+    else
+        pending_key_ = false;
+    out_ += json;
+    if (is_object_.empty())
+        done_ = true;
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    ELV_REQUIRE(is_object_.empty() && !pending_key_,
+                "unclosed JSON container");
+    return out_;
+}
+
+} // namespace elv::obs

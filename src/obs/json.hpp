@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for the observability artifacts (trace
+ * files, run reports, bench metadata). Handles comma placement and
+ * escaping; emits `null` for non-finite doubles so every artifact stays
+ * parseable by strict consumers (`python3 -m json.tool`, Perfetto).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elv::obs {
+
+/** Stack-based JSON builder; misuse trips ELV_REQUIRE. */
+class JsonWriter
+{
+  public:
+    JsonWriter &begin_object();
+    JsonWriter &end_object();
+    JsonWriter &begin_array();
+    JsonWriter &end_array();
+
+    /** Member key inside an object; must be followed by a value. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+
+    /** Splice a pre-rendered JSON fragment as one value. */
+    JsonWriter &raw(const std::string &json);
+
+    /** @name key+value shorthands @{ */
+    template <typename T>
+    JsonWriter &
+    kv(const std::string &k, const T &v)
+    {
+        return key(k).value(v);
+    }
+    /** @} */
+
+    /** The document; requires every container to be closed. */
+    std::string str() const;
+
+  private:
+    /** Comma/validity bookkeeping before a value or key is emitted. */
+    void pre_value();
+
+    std::string out_;
+    /** One frame per open container: true = object, false = array. */
+    std::vector<bool> is_object_;
+    /** Whether the current container already holds an element. */
+    std::vector<bool> has_element_;
+    bool pending_key_ = false;
+    bool done_ = false;
+};
+
+} // namespace elv::obs

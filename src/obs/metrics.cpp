@@ -1,0 +1,129 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace elv::obs {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges))
+{
+    ELV_REQUIRE(!edges_.empty(), "histogram needs at least one edge");
+    ELV_REQUIRE(std::is_sorted(edges_.begin(), edges_.end()) &&
+                    std::adjacent_find(edges_.begin(), edges_.end()) ==
+                        edges_.end(),
+                "histogram edges must be strictly ascending");
+    buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+        edges_.size() + 1);
+    for (std::size_t b = 0; b <= edges_.size(); ++b)
+        buckets_[b].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double v)
+{
+    const std::size_t bucket = static_cast<std::size_t>(
+        std::lower_bound(edges_.begin(), edges_.end(), v) -
+        edges_.begin());
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t>
+Histogram::counts() const
+{
+    std::vector<std::uint64_t> out(edges_.size() + 1);
+    for (std::size_t b = 0; b < out.size(); ++b)
+        out[b] = buckets_[b].load(std::memory_order_relaxed);
+    return out;
+}
+
+std::uint64_t
+Histogram::total() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b <= edges_.size(); ++b)
+        total += buckets_[b].load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Histogram::reset()
+{
+    for (std::size_t b = 0; b <= edges_.size(); ++b)
+        buckets_[b].store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+MetricsSnapshot::counter(const std::string &name) const
+{
+    for (const CounterValue &c : counters)
+        if (c.name == name)
+            return c.value;
+    return 0;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, std::vector<double> edges)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(edges));
+    return *slot;
+}
+
+MetricsSnapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    // std::map iterates in key order, so the snapshot is name-sorted.
+    for (const auto &[name, counter] : counters_)
+        snap.counters.push_back({name, counter->value()});
+    for (const auto &[name, gauge] : gauges_)
+        snap.gauges.push_back({name, gauge->value(), gauge->max_value()});
+    for (const auto &[name, hist] : histograms_)
+        snap.histograms.push_back({name, hist->edges(), hist->counts()});
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, counter] : counters_)
+        counter->reset();
+    for (const auto &[name, gauge] : gauges_)
+        gauge->reset();
+    for (const auto &[name, hist] : histograms_)
+        hist->reset();
+}
+
+} // namespace elv::obs

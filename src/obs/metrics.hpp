@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Thread-safe metrics registry: named counters, gauges and fixed-bucket
+ * histograms backed by atomics.
+ *
+ * Counters are sharded per thread (the shard index is the caller's
+ * thread ordinal), so a hot-path increment is one relaxed atomic add on
+ * a cache line no other thread touches; reading a counter sums the
+ * shards. Gauges and histograms are single atomics / atomic bucket
+ * arrays — they sit on colder paths (queue depths, backoff delays).
+ *
+ * Collection is *disabled* by default: every `ELV_METRIC_*` macro loads
+ * one relaxed atomic flag and branches away, so instrumented hot paths
+ * (gate-kernel dispatch, shot sampling) show no measurable cost until a
+ * run opts in with `--metrics`. Building with -DELV_OBS=OFF (which
+ * defines ELV_OBS_DISABLED) compiles the macros away entirely.
+ *
+ * Naming convention: dotted lowercase paths, `layer.noun[.verb]` —
+ * `sim.kernel.cx`, `pool.steals`, `exec.retries`.
+ */
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace elv::obs {
+
+/** Monotonic counter, sharded across threads. */
+class Counter
+{
+  public:
+    /** Relaxed atomic add on the calling thread's shard. */
+    void
+    add(std::uint64_t n = 1)
+    {
+        shards_[static_cast<std::size_t>(elv::thread_ordinal()) %
+                kShards]
+            .value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Sum over all shards (racy against concurrent adds, as usual). */
+    std::uint64_t
+    value() const
+    {
+        std::uint64_t total = 0;
+        for (const Shard &shard : shards_)
+            total += shard.value.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    void
+    reset()
+    {
+        for (Shard &shard : shards_)
+            shard.value.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    static constexpr std::size_t kShards = 16;
+
+    /** Cache-line padded so shards never false-share. */
+    struct alignas(64) Shard
+    {
+        std::atomic<std::uint64_t> value{0};
+    };
+
+    std::array<Shard, kShards> shards_;
+};
+
+/** Instantaneous signed value with a high-water mark. */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+        update_max(v);
+    }
+
+    /** Relaxed add (negative deltas allowed); tracks the maximum. */
+    void
+    add(std::int64_t delta)
+    {
+        const std::int64_t now =
+            value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+        update_max(now);
+    }
+
+    std::int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Largest value ever set/reached (since construction or reset). */
+    std::int64_t max_value() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        value_.store(0, std::memory_order_relaxed);
+        max_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    void
+    update_max(std::int64_t v)
+    {
+        std::int64_t seen = max_.load(std::memory_order_relaxed);
+        while (v > seen &&
+               !max_.compare_exchange_weak(seen, v,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    std::atomic<std::int64_t> value_{0};
+    std::atomic<std::int64_t> max_{0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations v with
+ * edges[i-1] < v <= edges[i] (Prometheus-style upper bounds); the last
+ * bucket is the +inf overflow. Edges are fixed at registration.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> edges);
+
+    /** Atomic increment of the owning bucket (binary search on edges). */
+    void observe(double v);
+
+    const std::vector<double> &edges() const { return edges_; }
+
+    /** Bucket counts, size edges().size() + 1 (last = overflow). */
+    std::vector<std::uint64_t> counts() const;
+
+    /** Total observations. */
+    std::uint64_t total() const;
+
+    void reset();
+
+  private:
+    std::vector<double> edges_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+};
+
+/** Point-in-time copy of every registered metric, sorted by name. */
+struct MetricsSnapshot
+{
+    struct CounterValue
+    {
+        std::string name;
+        std::uint64_t value;
+    };
+    struct GaugeValue
+    {
+        std::string name;
+        std::int64_t value;
+        std::int64_t max;
+    };
+    struct HistogramValue
+    {
+        std::string name;
+        std::vector<double> edges;
+        std::vector<std::uint64_t> counts;
+    };
+
+    std::vector<CounterValue> counters;
+    std::vector<GaugeValue> gauges;
+    std::vector<HistogramValue> histograms;
+
+    /** Value of a counter by name (0 when absent). */
+    std::uint64_t counter(const std::string &name) const;
+};
+
+/**
+ * Process-wide named-metric registry. Registration (the first call for
+ * a given name) takes a mutex; the returned references are stable for
+ * the registry's lifetime, so hot paths register once (function-local
+ * static) and then touch only the metric's atomics.
+ */
+class Registry
+{
+  public:
+    static Registry &global();
+
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** Whether `ELV_METRIC_*` macro sites record (default off). */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void
+    set_enabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /** The counter registered under `name` (registering it if new). */
+    Counter &counter(const std::string &name);
+
+    /** The gauge registered under `name` (registering it if new). */
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * The histogram registered under `name`. `edges` must be strictly
+     * ascending; it is fixed by the first registration and ignored on
+     * lookups of an existing histogram.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> edges);
+
+    /** Copy out every metric, sorted by name. */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every metric (registrations survive). */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::atomic<bool> enabled_{false};
+};
+
+} // namespace elv::obs
+
+/**
+ * Hot-path instrumentation macros. Each site registers its metric once
+ * (function-local static) and afterwards costs one relaxed load of the
+ * enabled flag plus, when collection is on, one relaxed atomic update.
+ * With ELV_OBS_DISABLED (CMake -DELV_OBS=OFF) they expand to nothing —
+ * no registration, no load, no branch.
+ */
+#ifndef ELV_OBS_DISABLED
+
+#define ELV_METRIC_COUNT_N(name, n)                                        \
+    do {                                                                   \
+        static ::elv::obs::Counter &elv_metric_counter_ =                  \
+            ::elv::obs::Registry::global().counter(name);                  \
+        if (::elv::obs::Registry::global().enabled())                      \
+            elv_metric_counter_.add(n);                                    \
+    } while (0)
+
+#define ELV_METRIC_COUNT(name) ELV_METRIC_COUNT_N(name, 1)
+
+#define ELV_METRIC_GAUGE_ADD(name, delta)                                  \
+    do {                                                                   \
+        static ::elv::obs::Gauge &elv_metric_gauge_ =                      \
+            ::elv::obs::Registry::global().gauge(name);                    \
+        if (::elv::obs::Registry::global().enabled())                      \
+            elv_metric_gauge_.add(delta);                                  \
+    } while (0)
+
+#define ELV_METRIC_OBSERVE(name, edges, v)                                 \
+    do {                                                                   \
+        static ::elv::obs::Histogram &elv_metric_hist_ =                   \
+            ::elv::obs::Registry::global().histogram(name, edges);         \
+        if (::elv::obs::Registry::global().enabled())                      \
+            elv_metric_hist_.observe(v);                                   \
+    } while (0)
+
+#else // ELV_OBS_DISABLED
+
+#define ELV_METRIC_COUNT_N(name, n) ((void)0)
+#define ELV_METRIC_COUNT(name) ((void)0)
+#define ELV_METRIC_GAUGE_ADD(name, delta) ((void)0)
+#define ELV_METRIC_OBSERVE(name, edges, v) ((void)0)
+
+#endif // ELV_OBS_DISABLED

@@ -5,6 +5,8 @@
 #include <exception>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace elv::par {
 
@@ -85,6 +87,7 @@ ThreadPool::try_get_task(std::size_t worker, std::function<void()> &task)
         if (!own.tasks.empty()) {
             task = std::move(own.tasks.front());
             own.tasks.pop_front();
+            ELV_METRIC_GAUGE_ADD("pool.queue_depth", -1);
             return true;
         }
     }
@@ -96,6 +99,8 @@ ThreadPool::try_get_task(std::size_t worker, std::function<void()> &task)
         if (!victim.tasks.empty()) {
             task = std::move(victim.tasks.back());
             victim.tasks.pop_back();
+            ELV_METRIC_COUNT("pool.steals");
+            ELV_METRIC_GAUGE_ADD("pool.queue_depth", -1);
             return true;
         }
     }
@@ -105,12 +110,17 @@ ThreadPool::try_get_task(std::size_t worker, std::function<void()> &task)
 void
 ThreadPool::worker_loop(std::size_t worker)
 {
+    auto run_task = [](std::function<void()> &t) {
+        ELV_TRACE_SCOPE("pool.task", "pool");
+        ELV_METRIC_COUNT("pool.tasks");
+        in_pool_task = true;
+        t();
+        in_pool_task = false;
+    };
     for (;;) {
         std::function<void()> task;
         if (try_get_task(worker, task)) {
-            in_pool_task = true;
-            task();
-            in_pool_task = false;
+            run_task(task);
             continue;
         }
         std::unique_lock<std::mutex> lock(wake_mutex_);
@@ -120,9 +130,7 @@ ThreadPool::worker_loop(std::size_t worker)
         // notifying, so a missed task means a pending notification.
         lock.unlock();
         if (try_get_task(worker, task)) {
-            in_pool_task = true;
-            task();
-            in_pool_task = false;
+            run_task(task);
             continue;
         }
         lock.lock();
@@ -169,6 +177,7 @@ ThreadPool::parallel_for(std::size_t n,
             }
             job->finish_one();
         });
+        ELV_METRIC_GAUGE_ADD("pool.queue_depth", 1);
     }
     wake_cv_.notify_all();
 
@@ -177,6 +186,8 @@ ThreadPool::parallel_for(std::size_t n,
     std::function<void()> task;
     while (job->remaining.load(std::memory_order_acquire) > 0) {
         if (try_get_task(0, task)) {
+            ELV_TRACE_SCOPE("pool.task", "pool");
+            ELV_METRIC_COUNT("pool.tasks");
             task();
             task = nullptr;
             continue;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace elv::sim {
 
@@ -229,6 +230,8 @@ DensityMatrix::run(const circ::Circuit &circuit,
 {
     ELV_REQUIRE(circuit.num_qubits() == num_qubits_,
                 "circuit/state qubit count mismatch");
+    // Coarse-granularity span: one per circuit run, never per gate.
+    ELV_TRACE_SCOPE("dm.run", "sim");
     reset();
     for (const circ::Op &op : circuit.ops())
         apply_op(op, params, x);

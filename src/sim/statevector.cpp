@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace elv::sim {
 
@@ -156,16 +158,23 @@ StateVector::apply_op(const circ::Op &op, const std::vector<double> &params,
         set_amplitude_embedding(x);
         return;
     }
+    // Kernel-mix counters (the --metrics "which dispatch path ran"
+    // tally). Each site is a relaxed flag load when metrics are off and
+    // compiles away entirely under ELV_OBS_DISABLED, so the dispatch
+    // stays kernel-bound either way.
     if (specialized_) {
         // Permutation/phase gates: no matrix, no multiplies.
         switch (op.kind) {
           case circ::GateKind::CX:
+            ELV_METRIC_COUNT("sim.kernel.cx");
             apply_cx(op.qubits[0], op.qubits[1]);
             return;
           case circ::GateKind::CZ:
+            ELV_METRIC_COUNT("sim.kernel.cz");
             apply_cz(op.qubits[0], op.qubits[1]);
             return;
           case circ::GateKind::SWAP:
+            ELV_METRIC_COUNT("sim.kernel.swap");
             apply_swap(op.qubits[0], op.qubits[1]);
             return;
           default:
@@ -174,6 +183,7 @@ StateVector::apply_op(const circ::Op &op, const std::vector<double> &params,
         if (circ::gate_is_diagonal_1q(op.kind)) {
             // Take the diagonal from the shared matrix factory so the
             // fast path can never drift from the generic one.
+            ELV_METRIC_COUNT("sim.kernel.diag1q");
             const auto angles = circ::op_angles(op, params, x);
             const Mat2 u = gate_matrix_1q(op.kind, angles);
             apply_diag_1q(u[0][0], u[1][1], op.qubits[0]);
@@ -181,11 +191,14 @@ StateVector::apply_op(const circ::Op &op, const std::vector<double> &params,
         }
     }
     const auto angles = circ::op_angles(op, params, x);
-    if (op.num_qubits() == 1)
+    if (op.num_qubits() == 1) {
+        ELV_METRIC_COUNT("sim.kernel.dense1q");
         apply_1q(gate_matrix_1q(op.kind, angles), op.qubits[0]);
-    else
+    } else {
+        ELV_METRIC_COUNT("sim.kernel.dense2q");
         apply_2q(gate_matrix_2q(op.kind, angles), op.qubits[0],
                  op.qubits[1]);
+    }
 }
 
 void
@@ -195,6 +208,9 @@ StateVector::run(const circ::Circuit &circuit,
 {
     ELV_REQUIRE(circuit.num_qubits() == num_qubits_,
                 "circuit/state qubit count mismatch");
+    // Coarse-granularity span: one per circuit run, never per gate.
+    ELV_TRACE_SCOPE("sv.run", "sim");
+    ELV_METRIC_COUNT("sim.sv.runs");
     reset();
     for (const circ::Op &op : circuit.ops())
         apply_op(op, params, x);
@@ -288,6 +304,7 @@ std::size_t
 StateVector::sample_from(const std::vector<double> &probs, elv::Rng &rng)
 {
     ELV_REQUIRE(!probs.empty(), "cannot sample an empty distribution");
+    ELV_METRIC_COUNT("sim.shots");
     double x = rng.uniform();
     for (std::size_t k = 0; k < probs.size(); ++k) {
         x -= probs[k];

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Verifies the compile-time kill switch: with ELV_OBS_DISABLED defined
+ * (what CMake -DELV_OBS=OFF does globally), the instrumentation macros
+ * expand to nothing — no registration, no enabled-flag load — while the
+ * obs classes themselves stay usable. This TU defines the macro itself,
+ * so one test binary covers the disabled expansion without a second
+ * build tree.
+ */
+#ifndef ELV_OBS_DISABLED
+#define ELV_OBS_DISABLED 1
+#endif
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+TEST(ObsDisabled, MacrosExpandToNothing)
+{
+    auto &registry = elv::obs::Registry::global();
+    auto &tracer = elv::obs::Tracer::global();
+    registry.set_enabled(true);
+    tracer.start();
+
+    // Even with collection switched on, macro sites compiled under
+    // ELV_OBS_DISABLED must not register or record anything.
+    ELV_METRIC_COUNT("obs_disabled.counter");
+    ELV_METRIC_COUNT_N("obs_disabled.counter", 5);
+    ELV_METRIC_GAUGE_ADD("obs_disabled.gauge", 1);
+    ELV_METRIC_OBSERVE("obs_disabled.hist",
+                       (std::vector<double>{1.0, 2.0}), 0.5);
+    {
+        ELV_TRACE_SCOPE("obs_disabled.span", "test");
+    }
+
+    tracer.stop();
+    registry.set_enabled(false);
+
+    const auto snap = registry.snapshot();
+    for (const auto &counter : snap.counters)
+        EXPECT_EQ(counter.name.find("obs_disabled"), std::string::npos);
+    for (const auto &gauge : snap.gauges)
+        EXPECT_EQ(gauge.name.find("obs_disabled"), std::string::npos);
+    for (const auto &hist : snap.histograms)
+        EXPECT_EQ(hist.name.find("obs_disabled"), std::string::npos);
+    for (const auto &event : tracer.drain())
+        EXPECT_EQ(event.name.find("obs_disabled"), std::string::npos);
+}
+
+TEST(ObsDisabled, ClassesRemainUsableDirectly)
+{
+    // The macros vanish, but code that names the types (e.g. the
+    // search's PhaseScope helper) still compiles and works.
+    elv::obs::Registry registry;
+    registry.counter("direct.use").add(2);
+    EXPECT_EQ(registry.counter("direct.use").value(), 2u);
+    {
+        elv::obs::TraceScope span("direct.span", "test");
+    }
+}
+
+} // namespace
