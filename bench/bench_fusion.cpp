@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Fused execution engine benchmarks -> BENCH_fusion.json.
+ *
+ * Two wall-clock comparisons, both single-threaded:
+ *
+ *  - state-vector: StateVector::run (per-gate dispatch) vs
+ *    FusedProgram::run (adjacent fixed gates collapsed into dense
+ *    Mat2/Mat4 groups) on Clifford-heavy and parametric circuits at
+ *    4-10 qubits, with a max-|amp-diff| equivalence check;
+ *  - noisy density-matrix CNR path: NoisyDensitySimulator::fidelity on
+ *    Clifford replicas of a device-native candidate, per-gate channel
+ *    loop (per-Kraus full-vector passes) vs compiled NoisyPrograms
+ *    (one gathered superoperator apply per gate+noise group), with a
+ *    max-|prob-diff| equivalence check on the output distributions.
+ *
+ * The exit code reflects the *correctness* checks only (fused must
+ * match unfused); speedups are reported, not gated, so a loaded CI
+ * machine cannot turn a perf report into a flaky failure. `--small`
+ * restricts the sweep to the smallest sizes for smoke runs.
+ */
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/clifford_replica.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/candidate_gen.hpp"
+#include "device/device.hpp"
+#include "harness.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/fusion.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace elv;
+
+double
+seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Layered Clifford circuit: H + CX brickwork + S (fuses maximally). */
+circ::Circuit
+clifford_brickwork(int qubits, int layers)
+{
+    circ::Circuit c(qubits);
+    for (int l = 0; l < layers; ++l) {
+        for (int q = 0; q < qubits; ++q)
+            c.add_gate(circ::GateKind::H, {q});
+        for (int q = l % 2; q + 1 < qubits; q += 2)
+            c.add_gate(circ::GateKind::CX, {q, q + 1});
+        for (int q = 0; q < qubits; ++q)
+            c.add_gate(circ::GateKind::S, {q});
+    }
+    std::vector<int> meas;
+    for (int q = 0; q < std::min(qubits, 10); ++q)
+        meas.push_back(q);
+    c.set_measured(meas);
+    return c;
+}
+
+/** Fixed gates interleaved with variational RZ fusion barriers. */
+circ::Circuit
+parametric_mix(int qubits, int layers)
+{
+    circ::Circuit c(qubits);
+    for (int l = 0; l < layers; ++l) {
+        for (int q = 0; q < qubits; ++q)
+            c.add_gate(circ::GateKind::H, {q});
+        for (int q = 0; q < qubits; ++q)
+            c.add_variational(circ::GateKind::RZ, {q});
+        for (int q = l % 2; q + 1 < qubits; q += 2)
+            c.add_gate(circ::GateKind::CX, {q, q + 1});
+        for (int q = 0; q < qubits; ++q)
+            c.add_gate(circ::GateKind::S, {q});
+    }
+    std::vector<int> meas;
+    for (int q = 0; q < std::min(qubits, 10); ++q)
+        meas.push_back(q);
+    c.set_measured(meas);
+    return c;
+}
+
+std::vector<double>
+fixed_params(const circ::Circuit &c)
+{
+    std::vector<double> params(
+        static_cast<std::size_t>(c.num_params()));
+    for (std::size_t i = 0; i < params.size(); ++i)
+        params[i] = 0.05 + 0.1 * static_cast<double>(i);
+    return params;
+}
+
+/** Max |amp| difference between per-gate and fused execution. */
+double
+fused_max_diff(const circ::Circuit &c, int qubits,
+               const std::vector<double> &params)
+{
+    sim::StateVector plain(qubits), fused(qubits);
+    plain.run(c, params);
+    sim::FusedProgram::compile(c).run(fused, params);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < plain.dim(); ++i)
+        diff = std::max(diff, std::abs(plain.amp(i) - fused.amp(i)));
+    return diff;
+}
+
+struct SvTimings
+{
+    double plain_s = 0.0;
+    double fused_s = 0.0;
+    std::uint64_t ops_merged = 0;
+};
+
+SvTimings
+time_statevector(const circ::Circuit &c, int qubits, int reps)
+{
+    SvTimings t;
+    const std::vector<double> params = fixed_params(c);
+    sim::StateVector psi(qubits);
+
+    psi.run(c, params); // warm-up
+    auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r)
+        psi.run(c, params);
+    t.plain_s = seconds_since(start) / reps;
+
+    // Compile outside the timed loop: the fusion cache amortizes
+    // compilation across the thousands of re-executions of real
+    // workloads (CNR replicas, RepCap inits, training epochs).
+    const sim::FusedProgram program = sim::FusedProgram::compile(c);
+    t.ops_merged = program.ops_merged();
+    program.run(psi, params); // warm-up
+    start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r)
+        program.run(psi, params);
+    t.fused_s = seconds_since(start) / reps;
+    return t;
+}
+
+/** Device-native candidate whose Clifford replicas drive the DM bench. */
+circ::Circuit
+cnr_candidate(const dev::Device &device, int qubits, elv::Rng &rng)
+{
+    core::CandidateConfig config;
+    config.num_qubits = qubits;
+    config.num_params = 2 * qubits;
+    config.num_embeds = qubits / 2;
+    config.num_meas = 2;
+    config.num_features = 4;
+    return core::generate_candidate(device, config, rng);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace elv;
+
+    bool small = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--small")
+            small = true;
+
+    // This bench exists to emit BENCH_fusion.json; force --json on.
+    std::vector<char *> args(argv, argv + argc);
+    char force_json[] = "--json";
+    args.push_back(force_json);
+    bench::Reporter reporter("fusion", static_cast<int>(args.size()),
+                             args.data());
+    reporter.set_seed(11);
+
+    bool ok = true;
+
+    // Part 1: state-vector, per-gate dispatch vs fused program.
+    Table sv("State-vector: per-gate vs fused (single-threaded)");
+    sv.set_header({"circuit", "qubits", "ops merged", "per-gate (ms)",
+                   "fused (ms)", "speedup", "max |diff|"});
+    const std::vector<int> sv_qubits =
+        small ? std::vector<int>{4, 6} : std::vector<int>{4, 6, 8, 10};
+    for (const int qubits : sv_qubits) {
+        struct Case
+        {
+            const char *name;
+            circ::Circuit circuit;
+        };
+        const Case cases[] = {
+            {"clifford brickwork", clifford_brickwork(qubits, 6)},
+            {"parametric mix", parametric_mix(qubits, 6)},
+        };
+        for (const Case &kc : cases) {
+            const int reps = small ? 50 : (qubits >= 10 ? 100 : 400);
+            const SvTimings t =
+                time_statevector(kc.circuit, qubits, reps);
+            const double diff = fused_max_diff(kc.circuit, qubits,
+                                               fixed_params(kc.circuit));
+            ok = ok && diff <= 1e-12;
+            sv.add_row({kc.name, std::to_string(qubits),
+                        std::to_string(t.ops_merged),
+                        Table::fmt(1e3 * t.plain_s, 4),
+                        Table::fmt(1e3 * t.fused_s, 4),
+                        Table::fmt(t.plain_s / t.fused_s, 2),
+                        Table::fmt(diff, 14)});
+        }
+    }
+    reporter.add(sv);
+
+    // Part 2: the noisy density-matrix CNR path — fidelity of Clifford
+    // replicas of a device-native candidate, channel loop vs compiled
+    // superoperator programs. Replicas are regenerated per size with a
+    // fixed seed so both paths see identical circuits.
+    const dev::Device device = dev::make_device("ibmq_mumbai");
+    Table dm("Noisy DM CNR path: Kraus loop vs superoperator programs");
+    dm.set_header({"qubits", "replicas", "kraus (ms)", "superop (ms)",
+                   "speedup", "max |prob diff|"});
+    double speedup_at_8 = 0.0;
+    const std::vector<int> dm_qubits =
+        small ? std::vector<int>{4, 6} : std::vector<int>{4, 6, 8, 10};
+    for (const int qubits : dm_qubits) {
+        const int replicas = small ? 4 : (qubits >= 10 ? 4 : 8);
+        elv::Rng rng(23 + static_cast<std::uint64_t>(qubits));
+        const circ::Circuit candidate =
+            cnr_candidate(device, qubits, rng);
+        std::vector<circ::Circuit> reps;
+        for (int m = 0; m < replicas; ++m)
+            reps.push_back(circ::make_clifford_replica(candidate, rng));
+
+        noise::NoisyDensitySimulator unfused(device);
+        unfused.use_fused_execution(false);
+        noise::NoisyDensitySimulator fused(device);
+
+        double diff = 0.0;
+        for (const circ::Circuit &replica : reps) {
+            const auto a = unfused.run_distribution(replica);
+            const auto b = fused.run_distribution(replica);
+            for (std::size_t i = 0; i < a.size(); ++i)
+                diff = std::max(diff, std::abs(a[i] - b[i]));
+        }
+        ok = ok && diff <= 1e-9;
+
+        // Warm the per-simulator program cache first so the fused
+        // timing matches CNR's steady state (each replica is compiled
+        // once and executed for its fidelity evaluation).
+        double unfused_sum = 0.0, fused_sum = 0.0;
+        auto start = std::chrono::steady_clock::now();
+        for (const circ::Circuit &replica : reps)
+            unfused_sum += unfused.fidelity(replica);
+        const double kraus_s = seconds_since(start);
+
+        start = std::chrono::steady_clock::now();
+        for (const circ::Circuit &replica : reps)
+            fused_sum += fused.fidelity(replica);
+        const double superop_s = seconds_since(start);
+        ok = ok && std::abs(unfused_sum - fused_sum) <= 1e-9 * replicas;
+
+        const double speedup = kraus_s / std::max(1e-12, superop_s);
+        if (qubits == 8)
+            speedup_at_8 = speedup;
+        dm.add_row({std::to_string(qubits), std::to_string(replicas),
+                    Table::fmt(1e3 * kraus_s, 3),
+                    Table::fmt(1e3 * superop_s, 3),
+                    Table::fmt(speedup, 2), Table::fmt(diff, 12)});
+    }
+    reporter.add(dm);
+
+    if (speedup_at_8 > 0.0)
+        std::printf("noisy CNR path speedup at 8 qubits: %.2fx "
+                    "(target >= 1.5x)\n",
+                    speedup_at_8);
+    std::printf("fused-vs-unfused equivalence: %s\n",
+                ok ? "ok" : "FAILED");
+    return ok ? 0 : 1;
+}

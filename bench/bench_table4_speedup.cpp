@@ -28,6 +28,7 @@
 #include "common/statistics.hpp"
 #include "common/table.hpp"
 #include "harness.hpp"
+#include "qml/trainer.hpp"
 
 int
 main(int argc, char **argv)
@@ -78,14 +79,18 @@ main(int argc, char **argv)
         // column from circuit-execution counts (Sec. 8.2.2), so we
         // evaluate the same model with Table 2's full sizes and the
         // paper's hyperparameters: SuperCircuit training costs
-        // 2 t |D_train| p parameter-shift executions (t = 200 epochs),
-        // the co-search evaluates ~500 genomes on a |D_test|-sized
-        // validation set, and Elivagar spends M = 32 executions per
-        // candidate on CNR plus n_c d_c n_p = 512 n_c per survivor on
-        // RepCap (128 candidates, top 50% kept).
+        // (1 + 2p) |D_train| parameter-shift executions per epoch
+        // (t = 200 epochs; the +1 is the forward evaluation every
+        // gradient step needs, and the count is what a quantum device
+        // executes regardless of how the simulator batches samples
+        // across threads), the co-search evaluates ~500 genomes on a
+        // |D_test|-sized validation set, and Elivagar spends M = 32
+        // executions per candidate on CNR plus n_c d_c n_p = 512 n_c
+        // per survivor on RepCap (128 candidates, top 50% kept).
         const std::uint64_t qnas_q =
-            2ULL * 200ULL * static_cast<std::uint64_t>(bench.spec.train) *
-                static_cast<std::uint64_t>(bench.spec.params) +
+            qml::parameter_shift_execution_count_dataset(
+                bench.spec.params, /*epochs=*/200, bench.spec.train,
+                /*batch_size=*/32) +
             500ULL * static_cast<std::uint64_t>(bench.spec.test);
         const std::uint64_t elv_q =
             128ULL * 32ULL +

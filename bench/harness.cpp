@@ -202,6 +202,7 @@ train_and_evaluate(const circ::Circuit &physical,
          ++restart) {
         qml::TrainConfig tc;
         tc.epochs = options.epochs;
+        tc.threads = options.threads;
         tc.seed = options.seed + seed_offset + 1000 +
                   static_cast<std::uint64_t>(restart);
         const auto trained =
@@ -342,6 +343,7 @@ run_supernet(const qml::Benchmark &bench, const dev::Device &device,
                                    /*cry_embedding=*/true);
     qml::TrainConfig tc;
     tc.epochs = options.super_epochs;
+    tc.threads = options.threads;
     tc.seed = options.seed ^ 0x1111ULL;
     const auto trained = base::train_supercircuit(
         super, bench.train, bench.spec.params, tc);
@@ -382,6 +384,7 @@ run_quantumnas(const qml::Benchmark &bench, const dev::Device &device,
                                    bench.spec.dim, bench.spec.meas);
     qml::TrainConfig tc;
     tc.epochs = options.super_epochs;
+    tc.threads = options.threads;
     tc.seed = options.seed ^ 0x3333ULL;
     const auto trained = base::train_supercircuit(
         super, bench.train, bench.spec.params, tc);

@@ -230,6 +230,7 @@ main(int argc, char **argv)
 
         qml::TrainConfig tc;
         tc.epochs = options.epochs;
+        tc.threads = options.threads < 0 ? 0 : options.threads;
         tc.seed = options.seed + 1;
         const auto trained =
             qml::train_circuit(found.best_circuit, bench.train, tc);

@@ -5,6 +5,7 @@
 #include "common/logging.hpp"
 #include "common/statistics.hpp"
 #include "common/validate.hpp"
+#include "sim/fusion.hpp"
 #include "sim/statevector.hpp"
 #include "sim/unitaries.hpp"
 
@@ -39,6 +40,10 @@ representational_capacity(const circ::Circuit &circuit,
     std::vector<sim::StateVector> states;
     states.reserve(d);
 
+    // One candidate circuit, d x param_inits executions: compile the
+    // fused program once (no cache — candidates are one-shot here).
+    const sim::FusedProgram program = sim::FusedProgram::compile(local);
+
     for (int t = 0; t < options.param_inits; ++t) {
         // Random parameter vector theta_t (uniformly sampled angles).
         std::vector<double> params(
@@ -50,7 +55,7 @@ representational_capacity(const circ::Circuit &circuit,
         states.clear();
         for (std::size_t s = 0; s < d; ++s) {
             sim::StateVector psi(local.num_qubits());
-            psi.run(local, params, data.samples[chosen[s]]);
+            program.run(psi, params, data.samples[chosen[s]]);
             states.push_back(std::move(psi));
             ++result.circuit_executions;
         }

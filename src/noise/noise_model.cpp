@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "circuit/serialize.hpp"
 #include "common/logging.hpp"
 #include "common/statistics.hpp"
+#include "sim/fusion.hpp"
 #include "sim/statevector.hpp"
 
 namespace elv::noise {
@@ -84,6 +86,24 @@ NoisyDensitySimulator::NoisyDensitySimulator(const dev::Device &device,
     device.validate();
 }
 
+std::shared_ptr<const NoisyProgram>
+NoisyDensitySimulator::program_for(const circ::Circuit &circuit,
+                                   const circ::Circuit &local,
+                                   const std::vector<int> &kept) const
+{
+    const std::string key = circ::to_text_line(circuit);
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+    if (cache_.size() >= 128)
+        cache_.clear();
+    auto program = std::make_shared<const NoisyProgram>(
+        NoisyProgram::compile(local, kept, device_, scale_));
+    cache_.emplace(key, program);
+    return program;
+}
+
 std::vector<double>
 NoisyDensitySimulator::run_distribution(const circ::Circuit &circuit,
                                         const std::vector<double> &params,
@@ -95,6 +115,33 @@ NoisyDensitySimulator::run_distribution(const circ::Circuit &circuit,
     const circ::Circuit local = circuit.compacted(kept);
 
     sim::DensityMatrix rho(local.num_qubits());
+    if (fused_)
+        program_for(circuit, local, kept)->run(rho, params, x);
+    else
+        apply_unfused(rho, local, kept, params, x);
+
+    auto probs = rho.probabilities(local.measured());
+    if (scale_ > 0.0) {
+        std::vector<double> flips;
+        flips.reserve(local.measured().size());
+        for (int lq : local.measured()) {
+            const int pq = kept[static_cast<std::size_t>(lq)];
+            flips.push_back(std::min(
+                0.5, scale_ * device_.readout_error
+                                  [static_cast<std::size_t>(pq)]));
+        }
+        probs = apply_readout_confusion(probs, flips);
+    }
+    return probs;
+}
+
+void
+NoisyDensitySimulator::apply_unfused(sim::DensityMatrix &rho,
+                                     const circ::Circuit &local,
+                                     const std::vector<int> &kept,
+                                     const std::vector<double> &params,
+                                     const std::vector<double> &x) const
+{
     auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
 
     for (const circ::Op &op : local.ops()) {
@@ -142,20 +189,6 @@ NoisyDensitySimulator::run_distribution(const circ::Circuit &circuit,
             }
         }
     }
-
-    auto probs = rho.probabilities(local.measured());
-    if (scale_ > 0.0) {
-        std::vector<double> flips;
-        flips.reserve(local.measured().size());
-        for (int lq : local.measured()) {
-            const int pq = kept[static_cast<std::size_t>(lq)];
-            flips.push_back(std::min(
-                0.5, scale_ * device_.readout_error
-                                  [static_cast<std::size_t>(pq)]));
-        }
-        probs = apply_readout_confusion(probs, flips);
-    }
-    return probs;
 }
 
 double
@@ -166,7 +199,13 @@ NoisyDensitySimulator::fidelity(const circ::Circuit &circuit,
     std::vector<int> kept;
     const circ::Circuit local = circuit.compacted(kept);
     sim::StateVector psi(local.num_qubits());
-    psi.run(local, params, x);
+    if (fused_) {
+        // Compile locally instead of through the global FusionCache:
+        // CNR replicas are one-shot circuits and would churn it.
+        sim::FusedProgram::compile(local).run(psi, params, x);
+    } else {
+        psi.run(local, params, x);
+    }
     const auto ideal = psi.probabilities(local.measured());
     const auto noisy = run_distribution(circuit, params, x);
     return 1.0 - elv::total_variation_distance(ideal, noisy);

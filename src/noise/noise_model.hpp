@@ -17,11 +17,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "circuit/circuit.hpp"
 #include "device/device.hpp"
 #include "noise/channels.hpp"
+#include "noise/superop.hpp"
 #include "sim/density_matrix.hpp"
 #include "stabilizer/tableau.hpp"
 
@@ -80,9 +85,40 @@ class NoisyDensitySimulator
 
     const dev::Device &device() const { return device_; }
 
+    /**
+     * Route execution through compiled NoisyPrograms — fused
+     * gate+channel superoperators, cached per circuit — instead of the
+     * per-gate channel loop (default on). The unfused path is kept for
+     * the equivalence tests and the bench comparison.
+     */
+    void use_fused_execution(bool on) { fused_ = on; }
+
   private:
+    /** The original per-gate channel loop (reference path). */
+    void apply_unfused(sim::DensityMatrix &rho,
+                       const circ::Circuit &local,
+                       const std::vector<int> &kept,
+                       const std::vector<double> &params,
+                       const std::vector<double> &x) const;
+
+    /** Cached compiled program for `circuit` (compiling on miss). */
+    std::shared_ptr<const NoisyProgram>
+    program_for(const circ::Circuit &circuit, const circ::Circuit &local,
+                const std::vector<int> &kept) const;
+
     const dev::Device &device_;
     double scale_;
+    bool fused_ = true;
+    /**
+     * Bounded program cache keyed by the exact serialization of the
+     * *original* (pre-compaction) circuit — physical qubit labels
+     * determine the noise, so the original text is the right key.
+     * Cleared wholesale at capacity, like sim::FusionCache.
+     */
+    mutable std::mutex cache_mutex_;
+    mutable std::unordered_map<std::string,
+                               std::shared_ptr<const NoisyProgram>>
+        cache_;
 };
 
 /** Calibration-driven stochastic Pauli noise for stabilizer shots. */

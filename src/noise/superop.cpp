@@ -1,0 +1,303 @@
+#include "noise/superop.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/logging.hpp"
+#include "noise/channels.hpp"
+#include "obs/metrics.hpp"
+
+namespace elv::noise {
+
+using sim::Amp;
+using sim::Mat16;
+using sim::Mat2;
+using sim::Mat4;
+
+// Index conventions: a 1-qubit superoperator row/column is 2*r + c
+// over the (row-bit, column-bit) pair of the vectorized rho; a 2-qubit
+// one is 8*r0 + 4*r1 + 2*c0 + c1 = 4*(gate-basis row) + (gate-basis
+// column). Both match the operand order DensityMatrix passes to
+// apply_2q/apply_4q.
+
+Mat4
+kraus_superop_1q(const std::vector<Mat2> &kraus)
+{
+    ELV_REQUIRE(!kraus.empty(), "empty Kraus set");
+    Mat4 s = {};
+    for (const Mat2 &k : kraus)
+        for (int a = 0; a < 2; ++a)
+            for (int b = 0; b < 2; ++b)
+                for (int ap = 0; ap < 2; ++ap)
+                    for (int bp = 0; bp < 2; ++bp)
+                        s[2 * a + b][2 * ap + bp] +=
+                            k[a][ap] * std::conj(k[b][bp]);
+    return s;
+}
+
+Mat16
+kraus_superop_2q(const std::vector<Mat4> &kraus)
+{
+    ELV_REQUIRE(!kraus.empty(), "empty Kraus set");
+    Mat16 s = {};
+    for (const Mat4 &k : kraus)
+        for (int r = 0; r < 4; ++r)
+            for (int c = 0; c < 4; ++c)
+                for (int rp = 0; rp < 4; ++rp)
+                    for (int cp = 0; cp < 4; ++cp)
+                        s[4 * r + c][4 * rp + cp] +=
+                            k[r][rp] * std::conj(k[c][cp]);
+    return s;
+}
+
+Mat4
+unitary_superop_1q(const Mat2 &u)
+{
+    return kraus_superop_1q({u});
+}
+
+Mat16
+unitary_superop_2q(const Mat4 &u)
+{
+    return kraus_superop_2q({u});
+}
+
+Mat16
+expand_superop_1q(const Mat4 &s, int slot)
+{
+    ELV_REQUIRE(slot == 0 || slot == 1, "bad embedding slot");
+    // Slot 0 acts on the (r0, c0) bits (3 and 1 of the index), slot 1
+    // on (r1, c1) (bits 2 and 0); the other pair passes through.
+    const int rbit = slot == 0 ? 3 : 2;
+    const int cbit = slot == 0 ? 1 : 0;
+    const int keep = 15 & ~((1 << rbit) | (1 << cbit));
+    Mat16 out = {};
+    for (int i = 0; i < 16; ++i)
+        for (int j = 0; j < 16; ++j) {
+            if ((i & keep) != (j & keep))
+                continue;
+            const int li = 2 * ((i >> rbit) & 1) + ((i >> cbit) & 1);
+            const int lj = 2 * ((j >> rbit) & 1) + ((j >> cbit) & 1);
+            out[i][j] = s[li][lj];
+        }
+    return out;
+}
+
+Mat16
+swap_superop_pair(const Mat16 &s)
+{
+    // Swap the qubit-0 and qubit-1 pairs: bits 3<->2 and 1<->0.
+    auto p = [](int i) {
+        return ((i & 8) >> 1) | ((i & 4) << 1) | ((i & 2) >> 1) |
+               ((i & 1) << 1);
+    };
+    Mat16 out;
+    for (int i = 0; i < 16; ++i)
+        for (int j = 0; j < 16; ++j)
+            out[p(i)][p(j)] = s[i][j];
+    return out;
+}
+
+NoisyProgram
+NoisyProgram::compile(const circ::Circuit &local,
+                      const std::vector<int> &kept,
+                      const dev::Device &device, double scale)
+{
+    ELV_REQUIRE(kept.size() ==
+                    static_cast<std::size_t>(local.num_qubits()),
+                "kept/local qubit count mismatch");
+    NoisyProgram prog;
+    prog.num_qubits_ = local.num_qubits();
+
+    struct Slot
+    {
+        Entry entry;
+        bool skip = false;
+    };
+    std::vector<Slot> stream;
+    stream.reserve(local.ops().size() * 2);
+    // Same invariant as the state-vector fusion pass: open[q] indexes
+    // the stream entry still fusable on qubit q, and nothing between
+    // it and the current position touches q.
+    std::vector<int> open(static_cast<std::size_t>(local.num_qubits()),
+                          -1);
+    auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
+
+    auto add_super1 = [&](const Mat4 &s, int q) {
+        const int idx = open[q];
+        if (idx >= 0) {
+            Entry &e = stream[idx].entry;
+            if (e.kind == Entry::Kind::Super1) {
+                e.s4 = sim::matmul(s, e.s4);
+            } else {
+                const int slot = e.q0 == q ? 0 : 1;
+                e.s16 = sim::matmul(expand_superop_1q(s, slot), e.s16);
+            }
+            ++prog.ops_merged_;
+            return;
+        }
+        Slot sl;
+        sl.entry.kind = Entry::Kind::Super1;
+        sl.entry.s4 = s;
+        sl.entry.q0 = q;
+        open[q] = static_cast<int>(stream.size());
+        stream.push_back(sl);
+    };
+
+    auto add_super2 = [&](Mat16 s, int a, int b) {
+        if (open[a] >= 0 && open[a] == open[b] &&
+            stream[open[a]].entry.kind == Entry::Kind::Super2) {
+            Entry &e = stream[open[a]].entry;
+            Mat16 prev = e.s16;
+            if (e.q0 == b)
+                prev = swap_superop_pair(prev);
+            e.s16 = sim::matmul(s, prev);
+            e.q0 = a;
+            e.q1 = b;
+            ++prog.ops_merged_;
+            return;
+        }
+        const int qs[2] = {a, b};
+        for (int slot = 0; slot < 2; ++slot) {
+            const int idx = open[qs[slot]];
+            if (idx >= 0 &&
+                stream[idx].entry.kind == Entry::Kind::Super1) {
+                s = sim::matmul(
+                    s, expand_superop_1q(stream[idx].entry.s4, slot));
+                stream[idx].skip = true;
+                ++prog.ops_merged_;
+            }
+        }
+        Slot sl;
+        sl.entry.kind = Entry::Kind::Super2;
+        sl.entry.s16 = s;
+        sl.entry.q0 = a;
+        sl.entry.q1 = b;
+        open[a] = open[b] = static_cast<int>(stream.size());
+        stream.push_back(sl);
+    };
+
+    auto thermal_superop = [&](int pq, double duration_ns) {
+        return kraus_superop_1q(thermal_relaxation_kraus(
+            device.t1_us[static_cast<std::size_t>(pq)] /
+                std::max(scale, 1e-9),
+            device.t2_us[static_cast<std::size_t>(pq)] /
+                std::max(scale, 1e-9),
+            duration_ns));
+    };
+
+    for (const circ::Op &op : local.ops()) {
+        const bool fixed = op.kind != circ::GateKind::AmpEmbed &&
+                           op.role == circ::ParamRole::None;
+        if (!fixed) {
+            // Angles resolve at run time: keep the IR op as a barrier.
+            // Its trailing noise (angle-independent) follows below as
+            // an ordinary fusable superoperator.
+            if (op.kind == circ::GateKind::AmpEmbed)
+                std::fill(open.begin(), open.end(), -1);
+            else
+                for (int k = 0; k < op.num_qubits(); ++k)
+                    open[op.qubits[k]] = -1;
+            Slot sl;
+            sl.entry.kind = Entry::Kind::Barrier;
+            sl.entry.op = op;
+            stream.push_back(sl);
+            if (op.kind == circ::GateKind::AmpEmbed)
+                continue;
+        }
+
+        if (op.num_qubits() == 1) {
+            const int lq = op.qubits[0];
+            Mat4 s = {};
+            bool have = false;
+            if (fixed) {
+                s = unitary_superop_1q(sim::gate_matrix_1q(
+                    op.kind, circ::op_angles(op, {}, {})));
+                have = true;
+            }
+            if (scale > 0.0) {
+                const int pq = kept[static_cast<std::size_t>(lq)];
+                const double err = clamp01(
+                    scale *
+                    device.error_1q[static_cast<std::size_t>(pq)]);
+                const Mat4 noise = sim::matmul(
+                    thermal_superop(pq, device.duration_1q_ns),
+                    kraus_superop_1q(depolarizing_1q_kraus(err)));
+                s = have ? sim::matmul(noise, s) : noise;
+                have = true;
+            }
+            if (have)
+                add_super1(s, lq);
+        } else {
+            const int la = op.qubits[0], lb = op.qubits[1];
+            Mat16 s = {};
+            bool have = false;
+            if (fixed) {
+                s = unitary_superop_2q(sim::gate_matrix_2q(
+                    op.kind, circ::op_angles(op, {}, {})));
+                have = true;
+            }
+            if (scale > 0.0) {
+                const int pa = kept[static_cast<std::size_t>(la)];
+                const int pb = kept[static_cast<std::size_t>(lb)];
+                if (!device.topology.has_edge(pa, pb))
+                    elv::fatal(
+                        "2-qubit gate on uncoupled physical qubits " +
+                        std::to_string(pa) + "," + std::to_string(pb) +
+                        "; route the circuit first");
+                const double err =
+                    clamp01(scale * device.edge_error(pa, pb));
+                Mat16 noise = kraus_superop_2q(depolarizing_2q_kraus(err));
+                // CRY lowers to two CX on hardware: pay the channel
+                // twice (matching the unfused schedule).
+                if (op.kind == circ::GateKind::CRY)
+                    noise = sim::matmul(noise, noise);
+                noise = sim::matmul(
+                    expand_superop_1q(
+                        thermal_superop(pa, device.duration_2q_ns), 0),
+                    noise);
+                noise = sim::matmul(
+                    expand_superop_1q(
+                        thermal_superop(pb, device.duration_2q_ns), 1),
+                    noise);
+                s = have ? sim::matmul(noise, s) : noise;
+                have = true;
+            }
+            if (have)
+                add_super2(s, la, lb);
+        }
+    }
+
+    prog.entries_.reserve(stream.size());
+    for (const Slot &sl : stream)
+        if (!sl.skip)
+            prog.entries_.push_back(sl.entry);
+    ELV_METRIC_COUNT_N("fusion.ops_merged", prog.ops_merged_);
+    return prog;
+}
+
+void
+NoisyProgram::run(sim::DensityMatrix &rho,
+                  const std::vector<double> &params,
+                  const std::vector<double> &x) const
+{
+    ELV_REQUIRE(rho.num_qubits() == num_qubits_,
+                "program/state qubit count mismatch");
+    rho.reset();
+    for (const Entry &e : entries_) {
+        switch (e.kind) {
+          case Entry::Kind::Super1:
+            rho.apply_superop_1q(e.s4, e.q0);
+            break;
+          case Entry::Kind::Super2:
+            rho.apply_superop_2q(e.s16, e.q0, e.q1);
+            break;
+          case Entry::Kind::Barrier:
+            rho.apply_op(e.op, params, x);
+            break;
+        }
+    }
+}
+
+} // namespace elv::noise

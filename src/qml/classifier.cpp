@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "common/logging.hpp"
 #include "common/validate.hpp"
+#include "sim/fusion.hpp"
 #include "sim/statevector.hpp"
 
 namespace elv::qml {
@@ -20,7 +21,9 @@ statevector_distribution()
         std::vector<int> kept;
         const circ::Circuit local = circuit.compacted(kept);
         sim::StateVector psi(local.num_qubits());
-        psi.run(local, params, x);
+        // Cached fused execution: evaluation sweeps re-run the same
+        // circuit once per sample.
+        sim::fused_run(psi, local, params, x);
         auto probs = psi.probabilities(local.measured());
         // Numerical guardrail at the DistributionFn boundary: NaN or
         // lost mass here silently corrupts every downstream loss.

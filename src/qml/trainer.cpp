@@ -7,6 +7,8 @@
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/validate.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
 #include "qml/optimizer.hpp"
 #include "sim/gradients.hpp"
 #include "sim/observable.hpp"
@@ -108,6 +110,10 @@ train_circuit(const circ::Circuit &circuit, const Dataset &data,
     std::vector<std::size_t> order(data.samples.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
 
+    // One pool for the whole call. Size 1 (the default) executes every
+    // task inline in index order — the serial reference path.
+    par::ThreadPool pool(config.threads);
+
     for (int epoch = 0; epoch < config.epochs; ++epoch) {
         rng.shuffle(order);
         double epoch_loss = 0.0;
@@ -120,44 +126,67 @@ train_circuit(const circ::Circuit &circuit, const Dataset &data,
                 std::min(order.size(),
                          cursor +
                              static_cast<std::size_t>(config.batch_size));
+            const std::size_t batch_n = batch_end - cursor;
             std::vector<double> grad(result.params.size(), 0.0);
 
-            for (std::size_t bi = cursor; bi < batch_end; ++bi) {
-                const std::size_t idx = order[bi];
-                const auto &x = data.samples[idx];
-                const int y = data.labels[idx];
-
-                // Only the label-class projector feeds the loss
-                // gradient: dL/dtheta = -(1/p_y) dp_y/dtheta.
-                const std::vector<sim::DiagonalObservable> obs = {
-                    projectors[static_cast<std::size_t>(y)]};
-                sim::GradientResult g;
-                if (config.distribution) {
-                    ELV_REQUIRE(config.backend ==
-                                    GradientBackend::ParameterShift,
-                                "a custom distribution provider needs "
-                                "the parameter-shift backend");
+            // Each sample's loss/gradient is a pure function of
+            // (circuit, params, sample) — no RNG, no shared mutable
+            // state — so the batch fans out across the pool; the
+            // reduction below then runs serially in sample-index
+            // order, reproducing the serial loop's floating-point
+            // accumulation exactly for every thread count.
+            std::vector<sim::GradientResult> batch_grads;
+            if (config.distribution) {
+                ELV_REQUIRE(config.backend ==
+                                GradientBackend::ParameterShift,
+                            "a custom distribution provider needs "
+                            "the parameter-shift backend");
+                // Providers may carry shared mutable state (e.g. a
+                // shot-noise RNG stream): stay serial.
+                batch_grads.reserve(batch_n);
+                for (std::size_t k = 0; k < batch_n; ++k) {
+                    ELV_METRIC_COUNT("train.batch_tasks");
+                    const std::size_t idx = order[cursor + k];
                     // Pass the ORIGINAL circuit: providers interpret
                     // qubit labels as physical device qubits, which
                     // compaction would strip. Parameter slots and the
                     // measured-qubit order are compaction-invariant.
-                    g = provider_shift_gradient(circuit, result.params,
-                                                x, obs[0], provider);
-                } else if (config.backend == GradientBackend::Adjoint) {
-                    g = sim::adjoint_gradient(local, result.params, x,
-                                              obs);
-                } else {
-                    g = sim::parameter_shift_gradient(local,
-                                                      result.params, x,
-                                                      obs);
+                    batch_grads.push_back(provider_shift_gradient(
+                        circuit, result.params, data.samples[idx],
+                        projectors[static_cast<std::size_t>(
+                            data.labels[idx])],
+                        provider));
                 }
-                result.circuit_executions += g.circuit_executions;
+            } else {
+                batch_grads = pool.parallel_map<sim::GradientResult>(
+                    batch_n, [&](std::size_t k) {
+                        ELV_METRIC_COUNT("train.batch_tasks");
+                        const std::size_t idx = order[cursor + k];
+                        const auto &x = data.samples[idx];
+                        // Only the label-class projector feeds the
+                        // loss gradient:
+                        // dL/dtheta = -(1/p_y) dp_y/dtheta.
+                        const std::vector<sim::DiagonalObservable> obs =
+                            {projectors[static_cast<std::size_t>(
+                                data.labels[idx])]};
+                        return config.backend == GradientBackend::Adjoint
+                                   ? sim::adjoint_gradient(
+                                         local, result.params, x, obs)
+                                   : sim::parameter_shift_gradient(
+                                         local, result.params, x, obs);
+                    });
+            }
 
+            // Index-ordered reduction (same accumulation order as the
+            // serial loop).
+            for (std::size_t k = 0; k < batch_n; ++k) {
+                const sim::GradientResult &g = batch_grads[k];
+                result.circuit_executions += g.circuit_executions;
                 const double p_y = std::max(g.values[0], 1e-10);
                 epoch_loss += -std::log(p_y);
                 ++seen;
                 const double coeff =
-                    -1.0 / (p_y * static_cast<double>(batch_end - cursor));
+                    -1.0 / (p_y * static_cast<double>(batch_n));
                 for (std::size_t pi = 0; pi < grad.size(); ++pi)
                     grad[pi] += coeff * g.jacobian[0][pi];
             }
@@ -184,6 +213,24 @@ parameter_shift_execution_count(int num_params, int epochs,
     return per_sample * static_cast<std::uint64_t>(epochs) *
            static_cast<std::uint64_t>(batches_per_epoch) *
            static_cast<std::uint64_t>(batch_size);
+}
+
+std::uint64_t
+parameter_shift_execution_count_dataset(int num_params, int epochs,
+                                        int num_samples, int batch_size,
+                                        int max_batches)
+{
+    ELV_REQUIRE(num_params >= 0 && epochs >= 0 && num_samples >= 0 &&
+                    batch_size >= 1 && max_batches >= 0,
+                "bad execution-count arguments");
+    std::uint64_t per_epoch = static_cast<std::uint64_t>(num_samples);
+    if (max_batches > 0)
+        per_epoch = std::min(per_epoch,
+                             static_cast<std::uint64_t>(max_batches) *
+                                 static_cast<std::uint64_t>(batch_size));
+    const std::uint64_t per_sample =
+        1 + 2 * static_cast<std::uint64_t>(num_params);
+    return per_sample * static_cast<std::uint64_t>(epochs) * per_epoch;
 }
 
 } // namespace elv::qml

@@ -38,6 +38,16 @@ struct TrainConfig
     /** Cap on batches per epoch (0 = use every batch). */
     int max_batches_per_epoch = 0;
     /**
+     * Worker threads for batched gradient evaluation: each sample of a
+     * mini-batch is an independent pool task, and the loss/gradient
+     * reduction runs serially in sample-index order afterwards, so the
+     * result is bit-identical for every thread count. 1 (default) =
+     * inline serial execution, <= 0 = all hardware threads. The
+     * distribution-provider path always runs serially (providers may
+     * carry shared mutable state, e.g. a shot-noise RNG stream).
+     */
+    int threads = 1;
+    /**
      * Optional distribution provider the training loop differentiates
      * *through* with the parameter-shift rule — set it to a noisy
      * backend to train against device noise (the noise-injection
@@ -74,5 +84,22 @@ TrainResult train_circuit(const circ::Circuit &circuit,
 std::uint64_t parameter_shift_execution_count(int num_params, int epochs,
                                               int batches_per_epoch,
                                               int batch_size);
+
+/**
+ * Parameter-shift execution count for `epochs` passes over a dataset
+ * of `num_samples` (optionally capped at `max_batches` batches of
+ * `batch_size` per epoch; 0 = no cap). The batched scheduler visits
+ * every sample exactly once per epoch regardless of how batch
+ * boundaries fall — a partial final batch contributes its true size —
+ * and fanning samples across simulator threads never changes what a
+ * quantum device would have to execute. The steps x batch_size
+ * overload above over-counts whenever batch_size does not divide the
+ * per-epoch sample count.
+ */
+std::uint64_t parameter_shift_execution_count_dataset(int num_params,
+                                                      int epochs,
+                                                      int num_samples,
+                                                      int batch_size,
+                                                      int max_batches = 0);
 
 } // namespace elv::qml

@@ -1,8 +1,10 @@
 #include "sim/density_matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace elv::sim {
@@ -58,32 +60,55 @@ void
 DensityMatrix::apply_kraus_1q(const std::vector<Mat2> &kraus, int q)
 {
     ELV_REQUIRE(!kraus.empty(), "empty Kraus set");
-    const std::vector<Amp> original = vec_.amps();
-    std::vector<Amp> acc(original.size(), Amp(0));
+    // Member scratch, sized on first use: copying into it and the
+    // final swap recycle both buffers, so repeated channel
+    // applications allocate nothing.
+    auto &state = vec_.amps();
+    kraus_original_ = state;
+    kraus_acc_.assign(state.size(), Amp(0));
     for (const Mat2 &k : kraus) {
-        vec_.amps() = original;
+        std::copy(kraus_original_.begin(), kraus_original_.end(),
+                  state.begin());
         apply_1q(k, q);
-        const auto &term = vec_.amps();
-        for (std::size_t i = 0; i < acc.size(); ++i)
-            acc[i] += term[i];
+        for (std::size_t i = 0; i < state.size(); ++i)
+            kraus_acc_[i] += state[i];
     }
-    vec_.amps() = std::move(acc);
+    std::swap(state, kraus_acc_);
 }
 
 void
 DensityMatrix::apply_kraus_2q(const std::vector<Mat4> &kraus, int q0, int q1)
 {
     ELV_REQUIRE(!kraus.empty(), "empty Kraus set");
-    const std::vector<Amp> original = vec_.amps();
-    std::vector<Amp> acc(original.size(), Amp(0));
+    auto &state = vec_.amps();
+    kraus_original_ = state;
+    kraus_acc_.assign(state.size(), Amp(0));
     for (const Mat4 &k : kraus) {
-        vec_.amps() = original;
+        std::copy(kraus_original_.begin(), kraus_original_.end(),
+                  state.begin());
         apply_2q(k, q0, q1);
-        const auto &term = vec_.amps();
-        for (std::size_t i = 0; i < acc.size(); ++i)
-            acc[i] += term[i];
+        for (std::size_t i = 0; i < state.size(); ++i)
+            kraus_acc_[i] += state[i];
     }
-    vec_.amps() = std::move(acc);
+    std::swap(state, kraus_acc_);
+}
+
+void
+DensityMatrix::apply_superop_1q(const Mat4 &s, int q)
+{
+    ELV_REQUIRE(q >= 0 && q < num_qubits_, "qubit out of range");
+    ELV_METRIC_COUNT("sim.superop_applies");
+    vec_.apply_2q(s, q, q + num_qubits_);
+}
+
+void
+DensityMatrix::apply_superop_2q(const Mat16 &s, int q0, int q1)
+{
+    ELV_REQUIRE(q0 >= 0 && q0 < num_qubits_ && q1 >= 0 &&
+                    q1 < num_qubits_ && q0 != q1,
+                "bad 2-qubit operands");
+    ELV_METRIC_COUNT("sim.superop_applies");
+    vec_.apply_4q(s, q0, q1, q0 + num_qubits_, q1 + num_qubits_);
 }
 
 void

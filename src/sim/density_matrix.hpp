@@ -49,6 +49,25 @@ class DensityMatrix
     /** Apply a 2-qubit Kraus channel. */
     void apply_kraus_2q(const std::vector<Mat4> &kraus, int q0, int q1);
 
+    /** @name Superoperator channel application @{
+     *
+     * Single-pass channel kernels: the precomputed superoperator
+     * matrix S[2a+b][2a'+b'] = sum_k K[a][a'] conj(K[b][b']) acts on
+     * the (row, column) qubit pair of the vectorized rho through the
+     * gathered apply_2q/apply_4q machinery. One pass over the 4^n
+     * amplitudes regardless of the Kraus-set size, vs. one full copy
+     * plus two passes per operator on the Kraus route. Build the
+     * matrices with noise::kraus_superop_1q/2q.
+     */
+
+    /** Apply a 1-qubit channel superoperator (basis |r_q c_q>). */
+    void apply_superop_1q(const Mat4 &s, int q);
+
+    /** Apply a 2-qubit channel superoperator (basis |r0 r1 c0 c1>). */
+    void apply_superop_2q(const Mat16 &s, int q0, int q1);
+
+    /** @} */
+
     /** @name Closed-form channel fast paths @{
      *
      * Semantically identical to the Kraus forms but a single pass over
@@ -102,6 +121,12 @@ class DensityMatrix
     /** 2n-qubit vectorized representation of rho. */
     StateVector vec_;
     bool specialized_ = true;
+    /**
+     * Reusable scratch for the generic Kraus path, sized on first use;
+     * avoids allocating 2 x 4^n amplitudes per channel application.
+     */
+    std::vector<Amp> kraus_original_;
+    std::vector<Amp> kraus_acc_;
 };
 
 } // namespace elv::sim

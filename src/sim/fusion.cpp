@@ -1,0 +1,200 @@
+#include "sim/fusion.hpp"
+
+#include <algorithm>
+
+#include "circuit/serialize.hpp"
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace elv::sim {
+
+namespace {
+
+/** Stream entry under construction; skipped entries were absorbed. */
+struct Entry
+{
+    FusedOp fused;
+    bool skip = false;
+};
+
+} // namespace
+
+FusedProgram
+FusedProgram::compile(const circ::Circuit &circuit)
+{
+    FusedProgram prog;
+    prog.num_qubits_ = circuit.num_qubits();
+    prog.source_ops_ = circuit.ops().size();
+
+    // open[q] indexes the stream entry still fusable on qubit q (-1 =
+    // none). The invariant making every merge a legal commutation: no
+    // op between stream[open[q]] and the current position touches q.
+    std::vector<int> open(static_cast<std::size_t>(circuit.num_qubits()),
+                          -1);
+    std::vector<Entry> stream;
+    stream.reserve(circuit.ops().size());
+
+    for (const circ::Op &op : circuit.ops()) {
+        const bool barrier = op.kind == circ::GateKind::AmpEmbed ||
+                             op.role != circ::ParamRole::None;
+        if (barrier) {
+            // Angles resolve at run time; keep the IR op and close the
+            // touched qubits (all of them for amplitude embedding,
+            // which rewrites the whole state).
+            if (op.kind == circ::GateKind::AmpEmbed)
+                std::fill(open.begin(), open.end(), -1);
+            else
+                for (int k = 0; k < op.num_qubits(); ++k)
+                    open[op.qubits[k]] = -1;
+            Entry e;
+            e.fused.kind = FusedOp::Kind::Barrier;
+            e.fused.op = op;
+            stream.push_back(e);
+            continue;
+        }
+
+        const auto angles = circ::op_angles(op, {}, {});
+        if (op.num_qubits() == 1) {
+            const int q = op.qubits[0];
+            const Mat2 u = gate_matrix_1q(op.kind, angles);
+            const int idx = open[q];
+            if (idx >= 0) {
+                Entry &e = stream[idx];
+                if (e.fused.kind == FusedOp::Kind::One) {
+                    e.fused.m2 = matmul(u, e.fused.m2);
+                } else {
+                    const int slot = e.fused.q0 == q ? 0 : 1;
+                    e.fused.m4 =
+                        matmul(embed_1q_in_2q(u, slot), e.fused.m4);
+                }
+                ++prog.ops_merged_;
+                continue;
+            }
+            Entry e;
+            e.fused.kind = FusedOp::Kind::One;
+            e.fused.m2 = u;
+            e.fused.q0 = q;
+            open[q] = static_cast<int>(stream.size());
+            stream.push_back(e);
+            continue;
+        }
+
+        const int a = op.qubits[0];
+        const int b = op.qubits[1];
+        Mat4 u = gate_matrix_2q(op.kind, angles);
+        if (open[a] >= 0 && open[a] == open[b] &&
+            stream[open[a]].fused.kind == FusedOp::Kind::Two) {
+            // Same pair already open: compose in the |a b> basis,
+            // reordering the earlier matrix if its operands were
+            // listed the other way around.
+            Entry &e = stream[open[a]];
+            Mat4 prev = e.fused.m4;
+            if (e.fused.q0 == b)
+                prev = swap_qubit_order(prev);
+            e.fused.m4 = matmul(u, prev);
+            e.fused.q0 = a;
+            e.fused.q1 = b;
+            ++prog.ops_merged_;
+            continue;
+        }
+        // New 2-qubit entry; absorb pending 1-qubit entries on its
+        // operands (they precede it with nothing touching a/b in
+        // between, so pre-multiplying their embeddings is exact).
+        for (int slot = 0; slot < 2; ++slot) {
+            const int q = op.qubits[slot];
+            const int idx = open[q];
+            if (idx >= 0 &&
+                stream[idx].fused.kind == FusedOp::Kind::One) {
+                u = matmul(u, embed_1q_in_2q(stream[idx].fused.m2,
+                                             slot));
+                stream[idx].skip = true;
+                ++prog.ops_merged_;
+            }
+        }
+        Entry e;
+        e.fused.kind = FusedOp::Kind::Two;
+        e.fused.m4 = u;
+        e.fused.q0 = a;
+        e.fused.q1 = b;
+        open[a] = open[b] = static_cast<int>(stream.size());
+        stream.push_back(e);
+    }
+
+    prog.ops_.reserve(stream.size());
+    for (const Entry &e : stream)
+        if (!e.skip)
+            prog.ops_.push_back(e.fused);
+    ELV_METRIC_COUNT_N("fusion.ops_merged", prog.ops_merged_);
+    return prog;
+}
+
+void
+FusedProgram::run(StateVector &psi, const std::vector<double> &params,
+                  const std::vector<double> &x) const
+{
+    ELV_REQUIRE(psi.num_qubits() == num_qubits_,
+                "program/state qubit count mismatch");
+    ELV_TRACE_SCOPE("sv.fused_run", "sim");
+    ELV_METRIC_COUNT("sim.sv.fused_runs");
+    psi.reset();
+    for (const FusedOp &f : ops_) {
+        switch (f.kind) {
+          case FusedOp::Kind::One:
+            psi.apply_1q(f.m2, f.q0);
+            break;
+          case FusedOp::Kind::Two:
+            psi.apply_2q(f.m4, f.q0, f.q1);
+            break;
+          case FusedOp::Kind::Barrier:
+            psi.apply_op(f.op, params, x);
+            break;
+        }
+    }
+}
+
+FusionCache &
+FusionCache::global()
+{
+    static FusionCache cache;
+    return cache;
+}
+
+std::shared_ptr<const FusedProgram>
+FusionCache::get(const circ::Circuit &circuit)
+{
+    const std::string key = circ::to_text_line(circuit);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = programs_.find(key);
+    if (it != programs_.end())
+        return it->second;
+    if (programs_.size() >= kCapacity)
+        programs_.clear();
+    auto program =
+        std::make_shared<const FusedProgram>(FusedProgram::compile(circuit));
+    programs_.emplace(key, program);
+    return program;
+}
+
+std::size_t
+FusionCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return programs_.size();
+}
+
+void
+FusionCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    programs_.clear();
+}
+
+void
+fused_run(StateVector &psi, const circ::Circuit &circuit,
+          const std::vector<double> &params, const std::vector<double> &x)
+{
+    FusionCache::global().get(circuit)->run(psi, params, x);
+}
+
+} // namespace elv::sim

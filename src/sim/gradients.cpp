@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "sim/fusion.hpp"
 
 namespace elv::sim {
 
@@ -47,7 +48,10 @@ expectations(const circ::Circuit &circuit, const std::vector<double> &params,
              const std::vector<DiagonalObservable> &obs)
 {
     StateVector psi(circuit.num_qubits());
-    psi.run(circuit, params, x);
+    // Through the fusion cache: parameter-shift gradients evaluate the
+    // same circuit 2P+1 times per call, so the compile cost amortizes
+    // immediately.
+    fused_run(psi, circuit, params, x);
     std::vector<double> values;
     values.reserve(obs.size());
     // All observables share the measured-qubit distribution; evaluate it
@@ -100,7 +104,9 @@ adjoint_gradient(const circ::Circuit &circuit,
     result.circuit_executions = 1;
 
     StateVector forward(circuit.num_qubits());
-    forward.run(circuit, params, x);
+    // Fused forward pass; the reverse sweep stays op-by-op because it
+    // needs per-op derivative insertions.
+    fused_run(forward, circuit, params, x);
 
     for (std::size_t oi = 0; oi < obs.size(); ++oi) {
         result.values[oi] = obs[oi].expectation(forward);

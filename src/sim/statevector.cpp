@@ -83,6 +83,48 @@ StateVector::apply_2q(const Mat4 &u, int q0, int q1)
 }
 
 void
+StateVector::apply_4q(const Mat16 &u, int q0, int q1, int q2, int q3)
+{
+    const int qs[4] = {q0, q1, q2, q3};
+    for (int a = 0; a < 4; ++a) {
+        ELV_REQUIRE(qs[a] >= 0 && qs[a] < num_qubits_,
+                    "qubit out of range");
+        for (int b = a + 1; b < 4; ++b)
+            ELV_REQUIRE(qs[a] != qs[b], "duplicate 4-qubit operand");
+    }
+    const std::size_t m0 = std::size_t{1} << q0;
+    const std::size_t m1 = std::size_t{1} << q1;
+    const std::size_t m2 = std::size_t{1} << q2;
+    const std::size_t m3 = std::size_t{1} << q3;
+    // Gather needs the insertion masks in ascending order; the local
+    // basis order stays |q0 q1 q2 q3> via the offset table below.
+    std::size_t sorted[4] = {m0, m1, m2, m3};
+    for (int a = 0; a < 4; ++a)
+        for (int b = a + 1; b < 4; ++b)
+            if (sorted[b] < sorted[a])
+                std::swap(sorted[a], sorted[b]);
+    std::size_t offset[16];
+    for (int k = 0; k < 16; ++k)
+        offset[k] = ((k & 8) ? m0 : 0) | ((k & 4) ? m1 : 0) |
+                    ((k & 2) ? m2 : 0) | ((k & 1) ? m3 : 0);
+    const std::size_t groups = amps_.size() >> 4;
+    for (std::size_t g = 0; g < groups; ++g) {
+        std::size_t i = g;
+        for (int a = 0; a < 4; ++a)
+            i = insert_zero_bit(i, sorted[a]);
+        Amp in[16];
+        for (int k = 0; k < 16; ++k)
+            in[k] = amps_[i | offset[k]];
+        for (int r = 0; r < 16; ++r) {
+            Amp acc(0);
+            for (int c = 0; c < 16; ++c)
+                acc += u[r][c] * in[c];
+            amps_[i | offset[r]] = acc;
+        }
+    }
+}
+
+void
 StateVector::apply_cx(int control, int target)
 {
     ELV_REQUIRE(control >= 0 && control < num_qubits_ && target >= 0 &&

@@ -42,6 +42,14 @@ class StateVector
     /** Apply a 2-qubit unitary (basis |q0 q1>, see unitaries.hpp). */
     void apply_2q(const Mat4 &u, int q0, int q1);
 
+    /**
+     * Apply a 4-qubit matrix in the basis |q0 q1 q2 q3>, local index
+     * = 8*bit(q0) + 4*bit(q1) + 2*bit(q2) + bit(q3). Used to apply
+     * two-qubit channel superoperators to the (row, column) qubit
+     * pairs of a vectorized density matrix in one pass.
+     */
+    void apply_4q(const Mat16 &u, int q0, int q1, int q2, int q3);
+
     /** @name Specialized gate kernels @{
      *
      * Permutation/phase/diagonal fast paths used by apply_op in place

@@ -240,4 +240,58 @@ identity4()
     return m;
 }
 
+Mat16
+matmul(const Mat16 &a, const Mat16 &b)
+{
+    Mat16 out = {};
+    for (int i = 0; i < 16; ++i)
+        for (int k = 0; k < 16; ++k) {
+            const Amp aik = a[i][k];
+            if (aik == Amp(0))
+                continue;
+            for (int j = 0; j < 16; ++j)
+                out[i][j] += aik * b[k][j];
+        }
+    return out;
+}
+
+Mat16
+identity16()
+{
+    Mat16 m = {};
+    for (int i = 0; i < 16; ++i)
+        m[i][i] = Amp(1);
+    return m;
+}
+
+Mat4
+embed_1q_in_2q(const Mat2 &u, int slot)
+{
+    ELV_REQUIRE(slot == 0 || slot == 1, "bad embedding slot");
+    Mat4 out = {};
+    // Local index = 2 * bit(q0) + bit(q1).
+    for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b)
+            for (int c = 0; c < 2; ++c)
+                for (int d = 0; d < 2; ++d) {
+                    const Amp v = slot == 0
+                                      ? (b == d ? u[a][c] : Amp(0))
+                                      : (a == c ? u[b][d] : Amp(0));
+                    out[2 * a + b][2 * c + d] = v;
+                }
+    return out;
+}
+
+Mat4
+swap_qubit_order(const Mat4 &u)
+{
+    // Index map 2*b0 + b1 -> 2*b1 + b0 swaps rows/cols 1 and 2.
+    auto p = [](int i) { return ((i & 1) << 1) | (i >> 1); };
+    Mat4 out;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            out[p(i)][p(j)] = u[i][j];
+    return out;
+}
+
 } // namespace elv::sim

@@ -18,6 +18,12 @@ namespace elv::sim {
 using Amp = std::complex<double>;
 using Mat2 = std::array<std::array<Amp, 2>, 2>;
 using Mat4 = std::array<std::array<Amp, 4>, 4>;
+/**
+ * 16x16 dense matrix over a 4-qubit local basis; used for two-qubit
+ * channel superoperators acting on (row, column) qubit pairs of a
+ * vectorized density matrix.
+ */
+using Mat16 = std::array<std::array<Amp, 16>, 16>;
 
 /** Unitary of a 1-qubit gate given its (up to 3) resolved angles. */
 Mat2 gate_matrix_1q(circ::GateKind kind,
@@ -46,9 +52,25 @@ Mat4 conjugate(const Mat4 &m);
 /** Matrix product a * b. */
 Mat2 matmul(const Mat2 &a, const Mat2 &b);
 Mat4 matmul(const Mat4 &a, const Mat4 &b);
+Mat16 matmul(const Mat16 &a, const Mat16 &b);
 
 /** Identity matrices. */
 Mat2 identity2();
 Mat4 identity4();
+Mat16 identity16();
+
+/**
+ * Embed a 1-qubit matrix into the 2-qubit basis |q0 q1>: slot 0 puts
+ * `u` on q0 (kron(u, I)), slot 1 on q1 (kron(I, u)). Used by the
+ * fusion pass to absorb 1-qubit gates into neighboring 2-qubit ops.
+ */
+Mat4 embed_1q_in_2q(const Mat2 &u, int slot);
+
+/**
+ * Reorder a 2-qubit matrix between the |q0 q1> and |q1 q0> bases
+ * (conjugation by SWAP). Lets the fusion pass compose gates written
+ * with opposite operand orders on the same qubit pair.
+ */
+Mat4 swap_qubit_order(const Mat4 &u);
 
 } // namespace elv::sim
