@@ -10,26 +10,42 @@
  *                [--epochs N] [--seed N] [--scale F] [--threads N]
  *                [--emit text|qasm] [--trace FILE] [--metrics]
  *                [--report FILE] [--list]
+ *   elivagar_cli lint [FILE ...] [--builtin] [--device NAME]
+ *                [--replica] [--require-embedding-prefix] [--rules]
  *
  * Observability: --trace writes a Chrome trace_event JSON (open in
  * https://ui.perfetto.dev), --metrics turns on the counter registry and
  * prints it after the run, --report writes the structured run report.
+ *
+ * The `lint` subcommand runs the elvlint static verifier over circuit
+ * files in the native text format (and, with --builtin, over every
+ * builder template, generated candidate, and catalog device). Exit
+ * status 1 when any error-severity diagnostic fires.
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "circuit/builders.hpp"
 #include "circuit/serialize.hpp"
 #include "common/logging.hpp"
+#include "compiler/compile.hpp"
+#include "core/candidate_gen.hpp"
 #include "core/run_report.hpp"
 #include "core/search.hpp"
 #include "device/device.hpp"
+#include "lint/lint.hpp"
 #include "noise/noise_model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "qml/synthetic.hpp"
 #include "qml/trainer.hpp"
+#include "sim/fusion.hpp"
 
 namespace {
 
@@ -72,7 +88,10 @@ print_usage()
         "(Perfetto-viewable)\n"
         "  --metrics          collect and print pipeline metrics\n"
         "  --report FILE      write the structured run report JSON\n"
-        "  --list             list benchmarks and devices, then exit\n");
+        "  --list             list benchmarks and devices, then exit\n"
+        "subcommands:\n"
+        "  lint               static-verify circuits and devices "
+        "(elivagar_cli lint --help)\n");
 }
 
 bool
@@ -131,11 +150,239 @@ parse(int argc, char **argv, CliOptions &options)
     return true;
 }
 
+/** Options for the `lint` subcommand. */
+struct LintCliOptions
+{
+    std::vector<std::string> files;
+    std::string device; // empty = structural lint only
+    bool builtin = false;
+    bool replica = false;
+    bool require_embedding_prefix = false;
+    std::uint64_t seed = 7;
+};
+
+void
+print_lint_usage()
+{
+    std::printf(
+        "usage: elivagar_cli lint [FILE ...] [options]\n"
+        "  FILE ...           circuits in the native text format\n"
+        "  --builtin          lint the builder templates, generated\n"
+        "                     candidates, compiled/fused programs, and\n"
+        "                     every catalog device model\n"
+        "  --device NAME      also check 2-qubit gates against NAME's\n"
+        "                     coupling map\n"
+        "  --replica          enable the clifford-replica rules\n"
+        "  --require-embedding-prefix\n"
+        "                     require embeddings before variational "
+        "gates\n"
+        "  --seed N           seed for --builtin generators (default "
+        "7)\n"
+        "  --rules            list the rule catalog, then exit\n"
+        "exit status: 1 when any error-severity diagnostic fires\n");
+}
+
+/** Print a report under a heading; returns the number of errors. */
+std::size_t
+report_errors(const std::string &subject, const elv::lint::Report &report)
+{
+    const std::size_t errors =
+        report.count(elv::lint::Severity::Error);
+    if (report.diagnostics.empty()) {
+        std::printf("  %-40s clean\n", subject.c_str());
+    } else {
+        std::printf("  %-40s %zu error(s), %zu warning(s)\n",
+                    subject.c_str(), errors,
+                    report.count(elv::lint::Severity::Warning));
+        std::printf("%s", report.to_string().c_str());
+    }
+    return errors;
+}
+
+/**
+ * Lint everything the library can build: each builder template, the
+ * device models, and — per catalog device — generated candidates plus
+ * their compiled and fused forms. This is the CI lint-smoke surface.
+ */
+std::size_t
+lint_builtin(const LintCliOptions &options)
+{
+    using namespace elv;
+    std::size_t errors = 0;
+
+    std::printf("builder templates:\n");
+    const circ::EmbeddingScheme schemes[] = {
+        circ::EmbeddingScheme::Angle, circ::EmbeddingScheme::IQP,
+        circ::EmbeddingScheme::Amplitude};
+    const char *scheme_names[] = {"angle", "iqp", "amplitude"};
+    for (int s = 0; s < 3; ++s) {
+        const int features =
+            schemes[static_cast<std::size_t>(s)] ==
+                    circ::EmbeddingScheme::Amplitude
+                ? 16
+                : 4;
+        const circ::Circuit c = circ::build_human_designed(
+            4, features, 12, 2, schemes[static_cast<std::size_t>(s)]);
+        errors += report_errors(
+            std::string("human-designed/") +
+                scheme_names[static_cast<std::size_t>(s)],
+            lint::lint_circuit(c));
+    }
+    {
+        elv::Rng rng(options.seed);
+        const circ::Circuit c =
+            circ::build_random_rxyz_cz(4, 4, 16, 2, rng);
+        errors += report_errors("random-rxyz-cz", lint::lint_circuit(c));
+    }
+
+    std::printf("device models:\n");
+    for (const auto &name : dev::device_catalog()) {
+        const dev::Device device = dev::make_device(name);
+        errors += report_errors(name, lint::lint_device(device));
+    }
+
+    std::printf("generated candidates (per device):\n");
+    for (const auto &name : dev::device_catalog()) {
+        const dev::Device device = dev::make_device(name);
+        elv::Rng rng(options.seed);
+        core::CandidateConfig config;
+        config.num_qubits = std::min(4, device.num_qubits());
+        config.num_params = 12;
+        config.num_embeds = 4;
+        config.num_meas = 2;
+        config.num_features = 4;
+        lint::LintOptions device_checked;
+        device_checked.device = &device;
+        for (int i = 0; i < 4; ++i) {
+            const circ::Circuit c =
+                core::generate_candidate(device, config, rng);
+            errors += report_errors(
+                name + "/candidate-" + std::to_string(i),
+                lint::lint_circuit(c, device_checked));
+        }
+        // Device-unaware candidates become device-native through the
+        // compiler; the compiled output must satisfy the connectivity
+        // rule, and its fused form the barrier invariants.
+        const circ::Circuit logical =
+            core::generate_device_unaware(config, rng);
+        const auto compiled =
+            comp::compile_for_device(logical, device, 2, rng);
+        errors += report_errors(
+            name + "/compiled",
+            lint::lint_circuit(compiled.circuit, device_checked));
+        const sim::FusedProgram fused =
+            sim::FusedProgram::compile(compiled.circuit);
+        errors += report_errors(
+            name + "/fused",
+            lint::lint_program(fused, compiled.circuit, device_checked));
+    }
+    return errors;
+}
+
+int
+run_lint(int argc, char **argv)
+{
+    using namespace elv;
+
+    LintCliOptions options;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                elv::fatal("missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--builtin")
+            options.builtin = true;
+        else if (arg == "--device")
+            options.device = value();
+        else if (arg == "--replica")
+            options.replica = true;
+        else if (arg == "--require-embedding-prefix")
+            options.require_embedding_prefix = true;
+        else if (arg == "--seed")
+            options.seed = static_cast<std::uint64_t>(
+                std::strtoull(value(), nullptr, 10));
+        else if (arg == "--rules") {
+            for (const auto &rule : lint::rule_catalog())
+                std::printf("%-18s %-8s %s\n", rule.id.c_str(),
+                            rule.severity == lint::Severity::Warning
+                                ? "warning"
+                                : "error",
+                            rule.summary.c_str());
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            print_lint_usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            elv::fatal("unknown lint option: " + arg);
+        } else {
+            options.files.push_back(arg);
+        }
+    }
+    if (options.files.empty() && !options.builtin)
+        elv::fatal("lint needs circuit files or --builtin");
+
+    std::optional<dev::Device> device;
+    lint::LintOptions lint_options;
+    if (!options.device.empty()) {
+        device.emplace(dev::make_device(options.device));
+        lint_options.device = &*device;
+    }
+    lint_options.expect_clifford_replica = options.replica;
+    lint_options.require_embedding_prefix =
+        options.require_embedding_prefix;
+
+    std::size_t errors = 0;
+    if (!options.files.empty())
+        std::printf("circuit files:\n");
+    for (const auto &path : options.files) {
+        std::ifstream in(path);
+        if (!in)
+            elv::fatal("cannot open " + path);
+        std::ostringstream text;
+        text << in.rdbuf();
+        // A file that cannot even deserialize (bad qubit index, duplicate
+        // measurement, ...) is reported as a parse diagnostic against the
+        // file rather than aborting the whole lint run.
+        try {
+            const circ::Circuit c = circ::from_text(text.str());
+            errors +=
+                report_errors(path, lint::lint_circuit(c, lint_options));
+        } catch (const std::exception &e) {
+            lint::Report parse;
+            parse.add(lint::Severity::Error, "parse", -1, e.what());
+            errors += report_errors(path, parse);
+        }
+    }
+    if (options.builtin)
+        errors += lint_builtin(options);
+
+    if (errors > 0) {
+        std::printf("lint: %zu error(s)\n", errors);
+        return 1;
+    }
+    std::printf("lint: ok\n");
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "lint") == 0) {
+        try {
+            return run_lint(argc, argv);
+        } catch (const elv::UsageError &error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            print_lint_usage();
+            return 1;
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            return 1;
+        }
+    }
     using namespace elv;
 
     CliOptions options;

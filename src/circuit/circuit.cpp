@@ -54,7 +54,7 @@ Circuit::check_qubits(const std::vector<int> &qubits, int expected) const
 }
 
 std::size_t
-Circuit::add_gate(GateKind kind, std::vector<int> qubits)
+Circuit::add_gate(GateKind kind, const std::vector<int> &qubits)
 {
     ELV_REQUIRE(!gate_is_parametric(kind) && kind != GateKind::AmpEmbed,
                 "add_gate is for fixed gates");
@@ -69,7 +69,7 @@ Circuit::add_gate(GateKind kind, std::vector<int> qubits)
 }
 
 std::size_t
-Circuit::add_variational(GateKind kind, std::vector<int> qubits)
+Circuit::add_variational(GateKind kind, const std::vector<int> &qubits)
 {
     ELV_REQUIRE(gate_is_parametric(kind),
                 "add_variational needs a parametric gate");
@@ -86,7 +86,7 @@ Circuit::add_variational(GateKind kind, std::vector<int> qubits)
 }
 
 std::size_t
-Circuit::add_embedding(GateKind kind, std::vector<int> qubits,
+Circuit::add_embedding(GateKind kind, const std::vector<int> &qubits,
                        int data_index, int data_index2)
 {
     ELV_REQUIRE(gate_num_params(kind) == 1,
@@ -344,17 +344,38 @@ Circuit::remapped(const std::vector<int> &mapping, int new_num_qubits) const
                 "mapping too short");
     ELV_REQUIRE(!has_amplitude_embedding(),
                 "cannot remap amplitude-embedding circuits");
+    // Validate the mapping over the qubits the circuit actually uses.
+    // Unused source qubits may carry -1 (compacted() marks dropped
+    // qubits that way), but a used qubit must land on a unique target
+    // inside the new register — an aliased or out-of-range target would
+    // silently produce a different circuit.
+    std::vector<int> target_owner(static_cast<std::size_t>(new_num_qubits),
+                                  -1);
+    for (int q : touched_qubits()) {
+        const int target = mapping[static_cast<std::size_t>(q)];
+        if (target < 0 || target >= new_num_qubits) {
+            std::ostringstream oss;
+            oss << "Circuit::remapped: qubit " << q << " maps to "
+                << target << ", outside the target register [0, "
+                << new_num_qubits << ")";
+            elv::fatal(oss.str());
+        }
+        int &owner = target_owner[static_cast<std::size_t>(target)];
+        if (owner >= 0) {
+            std::ostringstream oss;
+            oss << "Circuit::remapped: qubits " << owner << " and " << q
+                << " both map to target " << target
+                << "; aliasing would silently merge them";
+            elv::fatal(oss.str());
+        }
+        owner = q;
+    }
     Circuit out(new_num_qubits);
     out.ops_ = ops_;
     for (Op &op : out.ops_) {
         op.qubits[0] = mapping[static_cast<std::size_t>(op.qubits[0])];
-        ELV_REQUIRE(op.qubits[0] >= 0 && op.qubits[0] < new_num_qubits,
-                    "mapped qubit out of range");
-        if (op.num_qubits() == 2) {
+        if (op.num_qubits() == 2)
             op.qubits[1] = mapping[static_cast<std::size_t>(op.qubits[1])];
-            ELV_REQUIRE(op.qubits[1] >= 0 && op.qubits[1] < new_num_qubits,
-                        "mapped qubit out of range");
-        }
     }
     out.num_params_ = num_params_;
     out.params_pinned_ = params_pinned_;

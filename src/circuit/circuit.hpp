@@ -67,16 +67,16 @@ class Circuit
     /** @name Construction @{ */
 
     /** Append a fixed (non-parametric) gate. Returns the op index. */
-    std::size_t add_gate(GateKind kind, std::vector<int> qubits);
+    std::size_t add_gate(GateKind kind, const std::vector<int> &qubits);
 
     /** Append a variational parametric gate. Returns the op index. */
-    std::size_t add_variational(GateKind kind, std::vector<int> qubits);
+    std::size_t add_variational(GateKind kind, const std::vector<int> &qubits);
 
     /**
      * Append an embedding gate encoding feature `data_index` (or the
      * product with `data_index2` when the latter is >= 0).
      */
-    std::size_t add_embedding(GateKind kind, std::vector<int> qubits,
+    std::size_t add_embedding(GateKind kind, const std::vector<int> &qubits,
                               int data_index, int data_index2 = -1);
 
     /** Append an amplitude-embedding pseudo-op over all qubits. */
@@ -153,6 +153,12 @@ class Circuit
     /**
      * Relabel qubits: logical qubit q becomes `mapping[q]`. The result
      * has `new_num_qubits` qubits (>= max mapped index + 1).
+     *
+     * Every qubit the circuit uses (gates or measurements) must map to
+     * a distinct target inside `[0, new_num_qubits)`; a duplicate or
+     * out-of-range target raises elv::UsageError rather than silently
+     * aliasing qubits. Unused qubits may map to -1 (compacted() relies
+     * on this to drop them).
      */
     Circuit remapped(const std::vector<int> &mapping,
                      int new_num_qubits) const;

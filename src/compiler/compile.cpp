@@ -1,6 +1,7 @@
 #include "compiler/compile.hpp"
 
 #include "common/logging.hpp"
+#include "lint/preflight.hpp"
 
 namespace elv::comp {
 
@@ -67,6 +68,14 @@ compile_for_device(const circ::Circuit &logical, const dev::Device &device,
         result.circuit = cancel_to_fixpoint(result.circuit);
 
     result.stats = circuit_stats(result.circuit);
+
+    // Pre-flight: compiled output must be physically executable —
+    // every 2-qubit gate on a coupling edge, parameter slots intact.
+    // A violation here is a routing/decomposition bug.
+    lint::LintOptions lint_options;
+    lint_options.device = &device;
+    lint::preflight(result.circuit, lint::Boundary::CompilerOutput,
+                    lint_options);
     return result;
 }
 

@@ -91,8 +91,10 @@ cancel_adjacent_inverses(const Circuit &circuit)
             const Op &b = ops[j];
             // Does b touch any qubit of a? (AmpEmbed touches all.)
             bool touches = b.kind == GateKind::AmpEmbed;
-            for (int qa = 0; qa < a.num_qubits(); ++qa)
-                for (int qb = 0; qb < b.num_qubits(); ++qb)
+            for (std::size_t qa = 0;
+                 qa < static_cast<std::size_t>(a.num_qubits()); ++qa)
+                for (std::size_t qb = 0;
+                     qb < static_cast<std::size_t>(b.num_qubits()); ++qb)
                     if (a.qubits[qa] == b.qubits[qb])
                         touches = true;
             if (!touches)
@@ -107,8 +109,13 @@ cancel_adjacent_inverses(const Circuit &circuit)
                 for (std::size_t k = i + 1; k < j && !blocked; ++k) {
                     if (removed[k])
                         continue;
-                    for (int qa = 0; qa < a.num_qubits(); ++qa)
-                        for (int qk = 0; qk < ops[k].num_qubits(); ++qk)
+                    for (std::size_t qa = 0;
+                         qa < static_cast<std::size_t>(a.num_qubits());
+                         ++qa)
+                        for (std::size_t qk = 0;
+                             qk < static_cast<std::size_t>(
+                                      ops[k].num_qubits());
+                             ++qk)
                             if (ops[k].qubits[qk] == a.qubits[qa])
                                 blocked = true;
                 }

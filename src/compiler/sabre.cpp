@@ -41,7 +41,8 @@ struct OpSchedule
     bool
     is_ready(const Op &op, std::size_t index) const
     {
-        for (int k = 0; k < op.num_qubits(); ++k) {
+        for (std::size_t k = 0;
+             k < static_cast<std::size_t>(op.num_qubits()); ++k) {
             const auto &list =
                 op_lists[static_cast<std::size_t>(op.qubits[k])];
             const std::size_t head =
@@ -55,7 +56,8 @@ struct OpSchedule
     void
     advance(const Op &op)
     {
-        for (int k = 0; k < op.num_qubits(); ++k)
+        for (std::size_t k = 0;
+             k < static_cast<std::size_t>(op.num_qubits()); ++k)
             ++heads[static_cast<std::size_t>(op.qubits[k])];
     }
 };
@@ -155,7 +157,7 @@ route_pass(const Circuit &logical, const dev::Topology &topo,
         // Candidate SWAPs: edges touching any front physical qubit.
         std::vector<std::pair<int, int>> candidates;
         for (std::size_t fi : front) {
-            for (int k = 0; k < 2; ++k) {
+            for (std::size_t k = 0; k < 2; ++k) {
                 const int pq = mapping[static_cast<std::size_t>(
                     ops[fi].qubits[k])];
                 for (int nb : topo.neighbors(pq))

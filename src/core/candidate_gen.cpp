@@ -6,6 +6,7 @@
 
 #include "circuit/builders.hpp"
 #include "common/logging.hpp"
+#include "lint/preflight.hpp"
 
 namespace elv::core {
 
@@ -242,6 +243,13 @@ generate_candidate(const dev::Device &device, const CandidateConfig &config,
 
     ELV_REQUIRE(c.num_params() == config.num_params,
                 "parameter budget mismatch");
+
+    // Pre-flight: a generated candidate is device-native by
+    // construction; a lint violation here is a generator bug, not a
+    // property of the sampled circuit.
+    lint::LintOptions lint_options;
+    lint_options.device = &device;
+    lint::preflight(c, lint::Boundary::CandidateGen, lint_options);
     return c;
 }
 
@@ -289,6 +297,9 @@ generate_device_unaware(const CandidateConfig &config, elv::Rng &rng)
         c.designate_embedding(
             rotation_op_indices[static_cast<std::size_t>(e)],
             features[static_cast<std::size_t>(e % config.num_features)]);
+    // Device-unaware circuits assume full connectivity: structural
+    // lint only (they are SABRE-routed before touching a device).
+    lint::preflight(c, lint::Boundary::CandidateGen);
     return c;
 }
 

@@ -3,10 +3,33 @@
 #include "common/logging.hpp"
 #include "common/statistics.hpp"
 #include "common/validate.hpp"
+#include "lint/preflight.hpp"
 #include "sim/statevector.hpp"
 #include "stabilizer/tableau.hpp"
 
 namespace elv::exec {
+
+namespace {
+
+/**
+ * Executor-boundary pre-flight. Every circuit entering a backend is
+ * linted against the device it will be simulated on (when the backend
+ * has one) and, for replica-fidelity requests, against the Clifford-
+ * replica rules — replica_fidelity's contract is "a Clifford replica",
+ * and a parametric gate slipping through reads as a silently wrong
+ * fidelity, not a crash.
+ */
+void
+executor_preflight(const circ::Circuit &circuit, const dev::Device *device,
+                   bool clifford_replica)
+{
+    lint::LintOptions options;
+    options.device = device;
+    options.expect_clifford_replica = clifford_replica;
+    lint::preflight(circuit, lint::Boundary::Executor, options);
+}
+
+} // namespace
 
 const char *
 backend_name(BackendKind kind)
@@ -44,6 +67,7 @@ double
 DensityExecutor::replica_fidelity(const circ::Circuit &replica,
                                   elv::Rng &)
 {
+    executor_preflight(replica, &sim_.device(), true);
     const double f = sim_.fidelity(replica);
     ++executions_;
     return f;
@@ -54,6 +78,7 @@ DensityExecutor::run_distribution(const circ::Circuit &circuit,
                                   const std::vector<double> &params,
                                   const std::vector<double> &x, elv::Rng &)
 {
+    executor_preflight(circuit, &sim_.device(), false);
     auto probs = sim_.run_distribution(circuit, params, x);
     elv::validate_distribution(probs, elv::DistributionPolicy::Renormalize,
                                "density executor");
@@ -83,6 +108,7 @@ double
 StabilizerExecutor::replica_fidelity(const circ::Circuit &replica,
                                      elv::Rng &rng)
 {
+    executor_preflight(replica, &device_, true);
     std::vector<int> kept;
     const circ::Circuit local = replica.compacted(kept);
     // Noiseless side: stabilizer sampling (efficient at any size).
@@ -109,6 +135,7 @@ StabilizerExecutor::run_distribution(const circ::Circuit &circuit,
     if (!supports(circuit))
         throw BackendError(
             "stabilizer backend cannot run non-Clifford circuits");
+    executor_preflight(circuit, &device_, false);
     std::vector<int> kept;
     const circ::Circuit local = circuit.compacted(kept);
     const noise::DevicePauliNoise hook(device_, kept, scale_);
@@ -121,8 +148,10 @@ StabilizerExecutor::run_distribution(const circ::Circuit &circuit,
 }
 
 double
-NoiselessExecutor::replica_fidelity(const circ::Circuit &, elv::Rng &)
+NoiselessExecutor::replica_fidelity(const circ::Circuit &replica,
+                                    elv::Rng &)
 {
+    executor_preflight(replica, nullptr, true);
     ++executions_;
     return 1.0;
 }
@@ -133,6 +162,7 @@ NoiselessExecutor::run_distribution(const circ::Circuit &circuit,
                                     const std::vector<double> &x,
                                     elv::Rng &)
 {
+    executor_preflight(circuit, nullptr, false);
     std::vector<int> kept;
     const circ::Circuit local = circuit.compacted(kept);
     sim::StateVector psi(local.num_qubits());

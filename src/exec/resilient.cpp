@@ -30,7 +30,7 @@ std::uint64_t
 rung_seed(std::uint64_t base, int rung)
 {
     return base ^ (static_cast<std::uint64_t>(rung + 1) *
-                   0x9e3779b97f4a7c15ULL);
+                   std::uint64_t{0x9e3779b97f4a7c15});
 }
 
 std::unique_ptr<Executor>

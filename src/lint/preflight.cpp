@@ -1,0 +1,64 @@
+#include "lint/preflight.hpp"
+
+#include <atomic>
+
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+
+namespace elv::lint {
+
+namespace {
+
+std::atomic<bool> preflight_fatal_flag{
+#ifdef NDEBUG
+    false
+#else
+    true
+#endif
+};
+
+} // namespace
+
+const char *
+boundary_name(Boundary boundary)
+{
+    switch (boundary) {
+      case Boundary::CandidateGen: return "candidate-gen";
+      case Boundary::CompilerOutput: return "compiler-output";
+      case Boundary::Executor: return "executor";
+    }
+    return "unknown";
+}
+
+bool
+preflight_fatal()
+{
+    return preflight_fatal_flag.load(std::memory_order_relaxed);
+}
+
+void
+set_preflight_fatal(bool fatal)
+{
+    preflight_fatal_flag.store(fatal, std::memory_order_relaxed);
+}
+
+bool
+preflight(const circ::Circuit &circuit, Boundary boundary,
+          const LintOptions &options)
+{
+    ELV_METRIC_COUNT("lint.circuits_checked");
+    const Report report = lint_circuit(circuit, options);
+    const std::size_t errors = report.count(Severity::Error);
+    if (errors == 0)
+        return true;
+    ELV_METRIC_COUNT_N("lint.violations",
+                       static_cast<std::uint64_t>(errors));
+    if (preflight_fatal())
+        ELV_REQUIRE(false, "lint preflight failed at the "
+                               << boundary_name(boundary)
+                               << " boundary:\n"
+                               << report.to_string());
+    return false;
+}
+
+} // namespace elv::lint

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pre-flight lint checks at the pipeline boundaries.
+ *
+ * Candidate generation, the compiler, and the executors each hand a
+ * circuit to the next stage assuming its invariants hold. preflight()
+ * is the cheap (O(ops)) check at those hand-offs: it lints the
+ * circuit and
+ *
+ *  - in debug builds (and under set_preflight_fatal(true)) throws
+ *    InternalError carrying the full diagnostic text — a malformed
+ *    circuit crossing a boundary is a bug in the producing stage;
+ *  - in release builds counts the violation and lets the circuit
+ *    through, so a production search never aborts on a lint finding
+ *    but the damage is visible in the metrics.
+ *
+ * Observability (when metrics collection is on):
+ *   lint.circuits_checked  circuits linted at any boundary
+ *   lint.violations        error-severity diagnostics found
+ */
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "lint/lint.hpp"
+
+namespace elv::lint {
+
+/** Which pipeline hand-off a preflight check guards. */
+enum class Boundary {
+    CandidateGen,   ///< generator output entering the search
+    CompilerOutput, ///< compile_for_device result
+    Executor,       ///< circuit entering an execution backend
+};
+
+/** Printable boundary name ("candidate-gen", ...). */
+const char *boundary_name(Boundary boundary);
+
+/**
+ * Whether preflight() throws on error diagnostics. Defaults to true
+ * in debug builds (NDEBUG undefined), false in release.
+ */
+bool preflight_fatal();
+
+/** Override the fatal behavior (tests; takes effect process-wide). */
+void set_preflight_fatal(bool fatal);
+
+/**
+ * Lint `circuit` at a boundary. Returns true when the report is free
+ * of error diagnostics. See the file comment for the debug/release
+ * behavior and counters.
+ */
+bool preflight(const circ::Circuit &circuit, Boundary boundary,
+               const LintOptions &options = {});
+
+} // namespace elv::lint

@@ -62,10 +62,10 @@ depolarizing_2q_kraus(double p)
             const double w = (a == 0 && b == 0) ? std::sqrt(1.0 - p) : s;
             Mat4 k = {};
             // Tensor product in the |q0 q1> basis: index = 2*b0 + b1.
-            for (int i0 = 0; i0 < 2; ++i0)
-                for (int j0 = 0; j0 < 2; ++j0)
-                    for (int i1 = 0; i1 < 2; ++i1)
-                        for (int j1 = 0; j1 < 2; ++j1)
+            for (std::size_t i0 = 0; i0 < 2; ++i0)
+                for (std::size_t j0 = 0; j0 < 2; ++j0)
+                    for (std::size_t i1 = 0; i1 < 2; ++i1)
+                        for (std::size_t j1 = 0; j1 < 2; ++j1)
                             k[2 * i0 + i1][2 * j0 + j1] =
                                 w * pa[i0][j0] * pb[i1][j1];
             kraus.push_back(k);

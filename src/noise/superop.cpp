@@ -27,10 +27,10 @@ kraus_superop_1q(const std::vector<Mat2> &kraus)
     ELV_REQUIRE(!kraus.empty(), "empty Kraus set");
     Mat4 s = {};
     for (const Mat2 &k : kraus)
-        for (int a = 0; a < 2; ++a)
-            for (int b = 0; b < 2; ++b)
-                for (int ap = 0; ap < 2; ++ap)
-                    for (int bp = 0; bp < 2; ++bp)
+        for (std::size_t a = 0; a < 2; ++a)
+            for (std::size_t b = 0; b < 2; ++b)
+                for (std::size_t ap = 0; ap < 2; ++ap)
+                    for (std::size_t bp = 0; bp < 2; ++bp)
                         s[2 * a + b][2 * ap + bp] +=
                             k[a][ap] * std::conj(k[b][bp]);
     return s;
@@ -42,10 +42,10 @@ kraus_superop_2q(const std::vector<Mat4> &kraus)
     ELV_REQUIRE(!kraus.empty(), "empty Kraus set");
     Mat16 s = {};
     for (const Mat4 &k : kraus)
-        for (int r = 0; r < 4; ++r)
-            for (int c = 0; c < 4; ++c)
-                for (int rp = 0; rp < 4; ++rp)
-                    for (int cp = 0; cp < 4; ++cp)
+        for (std::size_t r = 0; r < 4; ++r)
+            for (std::size_t c = 0; c < 4; ++c)
+                for (std::size_t rp = 0; rp < 4; ++rp)
+                    for (std::size_t cp = 0; cp < 4; ++cp)
                         s[4 * r + c][4 * rp + cp] +=
                             k[r][rp] * std::conj(k[c][cp]);
     return s;
@@ -69,16 +69,19 @@ expand_superop_1q(const Mat4 &s, int slot)
     ELV_REQUIRE(slot == 0 || slot == 1, "bad embedding slot");
     // Slot 0 acts on the (r0, c0) bits (3 and 1 of the index), slot 1
     // on (r1, c1) (bits 2 and 0); the other pair passes through.
-    const int rbit = slot == 0 ? 3 : 2;
-    const int cbit = slot == 0 ? 1 : 0;
-    const int keep = 15 & ~((1 << rbit) | (1 << cbit));
+    const std::size_t rbit = slot == 0 ? 3 : 2;
+    const std::size_t cbit = slot == 0 ? 1 : 0;
+    const std::size_t keep =
+        15u & ~((1u << rbit) | (1u << cbit));
     Mat16 out = {};
-    for (int i = 0; i < 16; ++i)
-        for (int j = 0; j < 16; ++j) {
+    for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t j = 0; j < 16; ++j) {
             if ((i & keep) != (j & keep))
                 continue;
-            const int li = 2 * ((i >> rbit) & 1) + ((i >> cbit) & 1);
-            const int lj = 2 * ((j >> rbit) & 1) + ((j >> cbit) & 1);
+            const std::size_t li =
+                2 * ((i >> rbit) & 1) + ((i >> cbit) & 1);
+            const std::size_t lj =
+                2 * ((j >> rbit) & 1) + ((j >> cbit) & 1);
             out[i][j] = s[li][lj];
         }
     return out;
@@ -88,13 +91,13 @@ Mat16
 swap_superop_pair(const Mat16 &s)
 {
     // Swap the qubit-0 and qubit-1 pairs: bits 3<->2 and 1<->0.
-    auto p = [](int i) {
+    auto p = [](std::size_t i) {
         return ((i & 8) >> 1) | ((i & 4) << 1) | ((i & 2) >> 1) |
                ((i & 1) << 1);
     };
     Mat16 out;
-    for (int i = 0; i < 16; ++i)
-        for (int j = 0; j < 16; ++j)
+    for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t j = 0; j < 16; ++j)
             out[p(i)][p(j)] = s[i][j];
     return out;
 }
@@ -122,12 +125,18 @@ NoisyProgram::compile(const circ::Circuit &local,
     // it and the current position touches q.
     std::vector<int> open(static_cast<std::size_t>(local.num_qubits()),
                           -1);
+    auto open_at = [&open](int q) -> int & {
+        return open[static_cast<std::size_t>(q)];
+    };
+    auto slot_at = [&stream](int idx) -> Slot & {
+        return stream[static_cast<std::size_t>(idx)];
+    };
     auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
 
     auto add_super1 = [&](const Mat4 &s, int q) {
-        const int idx = open[q];
+        const int idx = open_at(q);
         if (idx >= 0) {
-            Entry &e = stream[idx].entry;
+            Entry &e = slot_at(idx).entry;
             if (e.kind == Entry::Kind::Super1) {
                 e.s4 = sim::matmul(s, e.s4);
             } else {
@@ -141,14 +150,14 @@ NoisyProgram::compile(const circ::Circuit &local,
         sl.entry.kind = Entry::Kind::Super1;
         sl.entry.s4 = s;
         sl.entry.q0 = q;
-        open[q] = static_cast<int>(stream.size());
+        open_at(q) = static_cast<int>(stream.size());
         stream.push_back(sl);
     };
 
     auto add_super2 = [&](Mat16 s, int a, int b) {
-        if (open[a] >= 0 && open[a] == open[b] &&
-            stream[open[a]].entry.kind == Entry::Kind::Super2) {
-            Entry &e = stream[open[a]].entry;
+        if (open_at(a) >= 0 && open_at(a) == open_at(b) &&
+            slot_at(open_at(a)).entry.kind == Entry::Kind::Super2) {
+            Entry &e = slot_at(open_at(a)).entry;
             Mat16 prev = e.s16;
             if (e.q0 == b)
                 prev = swap_superop_pair(prev);
@@ -160,12 +169,12 @@ NoisyProgram::compile(const circ::Circuit &local,
         }
         const int qs[2] = {a, b};
         for (int slot = 0; slot < 2; ++slot) {
-            const int idx = open[qs[slot]];
+            const int idx = open_at(qs[slot]);
             if (idx >= 0 &&
-                stream[idx].entry.kind == Entry::Kind::Super1) {
+                slot_at(idx).entry.kind == Entry::Kind::Super1) {
                 s = sim::matmul(
-                    s, expand_superop_1q(stream[idx].entry.s4, slot));
-                stream[idx].skip = true;
+                    s, expand_superop_1q(slot_at(idx).entry.s4, slot));
+                slot_at(idx).skip = true;
                 ++prog.ops_merged_;
             }
         }
@@ -174,7 +183,7 @@ NoisyProgram::compile(const circ::Circuit &local,
         sl.entry.s16 = s;
         sl.entry.q0 = a;
         sl.entry.q1 = b;
-        open[a] = open[b] = static_cast<int>(stream.size());
+        open_at(a) = open_at(b) = static_cast<int>(stream.size());
         stream.push_back(sl);
     };
 
@@ -198,7 +207,7 @@ NoisyProgram::compile(const circ::Circuit &local,
                 std::fill(open.begin(), open.end(), -1);
             else
                 for (int k = 0; k < op.num_qubits(); ++k)
-                    open[op.qubits[k]] = -1;
+                    open_at(op.qubits[static_cast<std::size_t>(k)]) = -1;
             Slot sl;
             sl.entry.kind = Entry::Kind::Barrier;
             sl.entry.op = op;

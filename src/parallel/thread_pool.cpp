@@ -170,7 +170,8 @@ ThreadPool::parallel_for(std::size_t n,
                 } catch (...) {
                     job->cancelled.store(true,
                                          std::memory_order_release);
-                    std::lock_guard<std::mutex> lock(job->mutex);
+                    std::lock_guard<std::mutex> error_lock(
+                        job->mutex);
                     if (!job->error)
                         job->error = std::current_exception();
                 }

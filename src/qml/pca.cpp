@@ -25,7 +25,8 @@ jacobi_eigen(std::vector<double> a, int n,
             1.0;
 
     auto at = [&a, n](int r, int c) -> double & {
-        return a[static_cast<std::size_t>(r) * n +
+        return a[static_cast<std::size_t>(r) *
+                     static_cast<std::size_t>(n) +
                  static_cast<std::size_t>(c)];
     };
 
@@ -108,7 +109,7 @@ Pca::Pca(const std::vector<std::vector<double>> &data, int components)
             for (int j = i; j < dim; ++j) {
                 const double dj = row[static_cast<std::size_t>(j)] -
                                   mean_[static_cast<std::size_t>(j)];
-                cov[static_cast<std::size_t>(i) * dim +
+                cov[static_cast<std::size_t>(i) * static_cast<std::size_t>(dim) +
                     static_cast<std::size_t>(j)] += di * dj;
             }
         }
@@ -117,12 +118,12 @@ Pca::Pca(const std::vector<std::vector<double>> &data, int components)
         data.size() > 1 ? data.size() - 1 : 1);
     for (int i = 0; i < dim; ++i)
         for (int j = i; j < dim; ++j) {
-            const double v = cov[static_cast<std::size_t>(i) * dim +
+            const double v = cov[static_cast<std::size_t>(i) * static_cast<std::size_t>(dim) +
                                  static_cast<std::size_t>(j)] /
                              denom;
-            cov[static_cast<std::size_t>(i) * dim +
+            cov[static_cast<std::size_t>(i) * static_cast<std::size_t>(dim) +
                 static_cast<std::size_t>(j)] = v;
-            cov[static_cast<std::size_t>(j) * dim +
+            cov[static_cast<std::size_t>(j) * static_cast<std::size_t>(dim) +
                 static_cast<std::size_t>(i)] = v;
         }
 

@@ -34,6 +34,12 @@ FusedProgram::compile(const circ::Circuit &circuit)
                           -1);
     std::vector<Entry> stream;
     stream.reserve(circuit.ops().size());
+    auto open_at = [&open](int q) -> int & {
+        return open[static_cast<std::size_t>(q)];
+    };
+    auto entry_at = [&stream](int idx) -> Entry & {
+        return stream[static_cast<std::size_t>(idx)];
+    };
 
     for (const circ::Op &op : circuit.ops()) {
         const bool barrier = op.kind == circ::GateKind::AmpEmbed ||
@@ -46,7 +52,7 @@ FusedProgram::compile(const circ::Circuit &circuit)
                 std::fill(open.begin(), open.end(), -1);
             else
                 for (int k = 0; k < op.num_qubits(); ++k)
-                    open[op.qubits[k]] = -1;
+                    open_at(op.qubits[static_cast<std::size_t>(k)]) = -1;
             Entry e;
             e.fused.kind = FusedOp::Kind::Barrier;
             e.fused.op = op;
@@ -58,9 +64,9 @@ FusedProgram::compile(const circ::Circuit &circuit)
         if (op.num_qubits() == 1) {
             const int q = op.qubits[0];
             const Mat2 u = gate_matrix_1q(op.kind, angles);
-            const int idx = open[q];
+            const int idx = open_at(q);
             if (idx >= 0) {
-                Entry &e = stream[idx];
+                Entry &e = entry_at(idx);
                 if (e.fused.kind == FusedOp::Kind::One) {
                     e.fused.m2 = matmul(u, e.fused.m2);
                 } else {
@@ -75,7 +81,7 @@ FusedProgram::compile(const circ::Circuit &circuit)
             e.fused.kind = FusedOp::Kind::One;
             e.fused.m2 = u;
             e.fused.q0 = q;
-            open[q] = static_cast<int>(stream.size());
+            open_at(q) = static_cast<int>(stream.size());
             stream.push_back(e);
             continue;
         }
@@ -83,12 +89,12 @@ FusedProgram::compile(const circ::Circuit &circuit)
         const int a = op.qubits[0];
         const int b = op.qubits[1];
         Mat4 u = gate_matrix_2q(op.kind, angles);
-        if (open[a] >= 0 && open[a] == open[b] &&
-            stream[open[a]].fused.kind == FusedOp::Kind::Two) {
+        if (open_at(a) >= 0 && open_at(a) == open_at(b) &&
+            entry_at(open_at(a)).fused.kind == FusedOp::Kind::Two) {
             // Same pair already open: compose in the |a b> basis,
             // reordering the earlier matrix if its operands were
             // listed the other way around.
-            Entry &e = stream[open[a]];
+            Entry &e = entry_at(open_at(a));
             Mat4 prev = e.fused.m4;
             if (e.fused.q0 == b)
                 prev = swap_qubit_order(prev);
@@ -102,13 +108,13 @@ FusedProgram::compile(const circ::Circuit &circuit)
         // operands (they precede it with nothing touching a/b in
         // between, so pre-multiplying their embeddings is exact).
         for (int slot = 0; slot < 2; ++slot) {
-            const int q = op.qubits[slot];
-            const int idx = open[q];
+            const int q = op.qubits[static_cast<std::size_t>(slot)];
+            const int idx = open_at(q);
             if (idx >= 0 &&
-                stream[idx].fused.kind == FusedOp::Kind::One) {
-                u = matmul(u, embed_1q_in_2q(stream[idx].fused.m2,
+                entry_at(idx).fused.kind == FusedOp::Kind::One) {
+                u = matmul(u, embed_1q_in_2q(entry_at(idx).fused.m2,
                                              slot));
-                stream[idx].skip = true;
+                entry_at(idx).skip = true;
                 ++prog.ops_merged_;
             }
         }
@@ -117,7 +123,7 @@ FusedProgram::compile(const circ::Circuit &circuit)
         e.fused.m4 = u;
         e.fused.q0 = a;
         e.fused.q1 = b;
-        open[a] = open[b] = static_cast<int>(stream.size());
+        open_at(a) = open_at(b) = static_cast<int>(stream.size());
         stream.push_back(e);
     }
 

@@ -71,11 +71,11 @@ StateVector::apply_2q(const Mat4 &u, int q0, int q1)
         // Local basis |q0 q1>: index = 2 * bit(q0) + bit(q1).
         const std::size_t idx[4] = {i, i | m1, i | m0, i | m0 | m1};
         Amp in[4];
-        for (int k = 0; k < 4; ++k)
+        for (std::size_t k = 0; k < 4; ++k)
             in[k] = amps_[idx[k]];
-        for (int r = 0; r < 4; ++r) {
+        for (std::size_t r = 0; r < 4; ++r) {
             Amp acc(0);
-            for (int c = 0; c < 4; ++c)
+            for (std::size_t c = 0; c < 4; ++c)
                 acc += u[r][c] * in[c];
             amps_[idx[r]] = acc;
         }
@@ -113,11 +113,11 @@ StateVector::apply_4q(const Mat16 &u, int q0, int q1, int q2, int q3)
         for (int a = 0; a < 4; ++a)
             i = insert_zero_bit(i, sorted[a]);
         Amp in[16];
-        for (int k = 0; k < 16; ++k)
+        for (std::size_t k = 0; k < 16; ++k)
             in[k] = amps_[i | offset[k]];
-        for (int r = 0; r < 16; ++r) {
+        for (std::size_t r = 0; r < 16; ++r) {
             Amp acc(0);
-            for (int c = 0; c < 16; ++c)
+            for (std::size_t c = 0; c < 16; ++c)
                 acc += u[r][c] * in[c];
             amps_[i | offset[r]] = acc;
         }

@@ -165,8 +165,8 @@ Mat2
 dagger(const Mat2 &m)
 {
     Mat2 out;
-    for (int i = 0; i < 2; ++i)
-        for (int j = 0; j < 2; ++j)
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 2; ++j)
             out[i][j] = std::conj(m[j][i]);
     return out;
 }
@@ -175,8 +175,8 @@ Mat4
 dagger(const Mat4 &m)
 {
     Mat4 out;
-    for (int i = 0; i < 4; ++i)
-        for (int j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
             out[i][j] = std::conj(m[j][i]);
     return out;
 }
@@ -185,8 +185,8 @@ Mat2
 conjugate(const Mat2 &m)
 {
     Mat2 out;
-    for (int i = 0; i < 2; ++i)
-        for (int j = 0; j < 2; ++j)
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 2; ++j)
             out[i][j] = std::conj(m[i][j]);
     return out;
 }
@@ -195,8 +195,8 @@ Mat4
 conjugate(const Mat4 &m)
 {
     Mat4 out;
-    for (int i = 0; i < 4; ++i)
-        for (int j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
             out[i][j] = std::conj(m[i][j]);
     return out;
 }
@@ -205,9 +205,9 @@ Mat2
 matmul(const Mat2 &a, const Mat2 &b)
 {
     Mat2 out = {};
-    for (int i = 0; i < 2; ++i)
-        for (int k = 0; k < 2; ++k)
-            for (int j = 0; j < 2; ++j)
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t k = 0; k < 2; ++k)
+            for (std::size_t j = 0; j < 2; ++j)
                 out[i][j] += a[i][k] * b[k][j];
     return out;
 }
@@ -216,9 +216,9 @@ Mat4
 matmul(const Mat4 &a, const Mat4 &b)
 {
     Mat4 out = {};
-    for (int i = 0; i < 4; ++i)
-        for (int k = 0; k < 4; ++k)
-            for (int j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t k = 0; k < 4; ++k)
+            for (std::size_t j = 0; j < 4; ++j)
                 out[i][j] += a[i][k] * b[k][j];
     return out;
 }
@@ -235,7 +235,7 @@ Mat4
 identity4()
 {
     Mat4 m = {};
-    for (int i = 0; i < 4; ++i)
+    for (std::size_t i = 0; i < 4; ++i)
         m[i][i] = Amp(1);
     return m;
 }
@@ -244,12 +244,12 @@ Mat16
 matmul(const Mat16 &a, const Mat16 &b)
 {
     Mat16 out = {};
-    for (int i = 0; i < 16; ++i)
-        for (int k = 0; k < 16; ++k) {
+    for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t k = 0; k < 16; ++k) {
             const Amp aik = a[i][k];
             if (aik == Amp(0))
                 continue;
-            for (int j = 0; j < 16; ++j)
+            for (std::size_t j = 0; j < 16; ++j)
                 out[i][j] += aik * b[k][j];
         }
     return out;
@@ -259,7 +259,7 @@ Mat16
 identity16()
 {
     Mat16 m = {};
-    for (int i = 0; i < 16; ++i)
+    for (std::size_t i = 0; i < 16; ++i)
         m[i][i] = Amp(1);
     return m;
 }
@@ -270,10 +270,10 @@ embed_1q_in_2q(const Mat2 &u, int slot)
     ELV_REQUIRE(slot == 0 || slot == 1, "bad embedding slot");
     Mat4 out = {};
     // Local index = 2 * bit(q0) + bit(q1).
-    for (int a = 0; a < 2; ++a)
-        for (int b = 0; b < 2; ++b)
-            for (int c = 0; c < 2; ++c)
-                for (int d = 0; d < 2; ++d) {
+    for (std::size_t a = 0; a < 2; ++a)
+        for (std::size_t b = 0; b < 2; ++b)
+            for (std::size_t c = 0; c < 2; ++c)
+                for (std::size_t d = 0; d < 2; ++d) {
                     const Amp v = slot == 0
                                       ? (b == d ? u[a][c] : Amp(0))
                                       : (a == c ? u[b][d] : Amp(0));
@@ -286,10 +286,10 @@ Mat4
 swap_qubit_order(const Mat4 &u)
 {
     // Index map 2*b0 + b1 -> 2*b1 + b0 swaps rows/cols 1 and 2.
-    auto p = [](int i) { return ((i & 1) << 1) | (i >> 1); };
+    auto p = [](std::size_t i) { return ((i & 1) << 1) | (i >> 1); };
     Mat4 out;
-    for (int i = 0; i < 4; ++i)
-        for (int j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
             out[p(i)][p(j)] = u[i][j];
     return out;
 }

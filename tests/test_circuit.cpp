@@ -108,6 +108,38 @@ TEST(Circuit, RemappedRelabelsQubits)
     EXPECT_EQ(r.measured()[0], 2);
 }
 
+TEST(Circuit, RemappedRejectsAliasingTargets)
+{
+    Circuit c(2);
+    c.add_gate(GateKind::CX, {0, 1});
+    c.set_measured({1});
+    // Both qubits land on target 3: the CX would silently collapse to
+    // a self-gate. Must be rejected, not produced.
+    EXPECT_THROW(c.remapped({3, 3}, 5), elv::UsageError);
+}
+
+TEST(Circuit, RemappedRejectsOutOfRangeTargets)
+{
+    Circuit c(2);
+    c.add_gate(GateKind::CX, {0, 1});
+    c.set_measured({0});
+    EXPECT_THROW(c.remapped({0, 7}, 5), elv::UsageError);
+    EXPECT_THROW(c.remapped({-1, 1}, 5), elv::UsageError);
+}
+
+TEST(Circuit, RemappedIgnoresUnusedQubitTargets)
+{
+    // compacted() passes -1 for dropped qubits; a negative or aliased
+    // target on a qubit the circuit never touches must stay legal.
+    Circuit c(4);
+    c.add_gate(GateKind::H, {2});
+    c.set_measured({2});
+    const Circuit r = c.remapped({-1, -1, 0, -1}, 1);
+    EXPECT_EQ(r.num_qubits(), 1);
+    EXPECT_EQ(r.ops()[0].qubits[0], 0);
+    EXPECT_EQ(r.measured()[0], 0);
+}
+
 TEST(Circuit, CompactedReducesToTouchedQubits)
 {
     Circuit c(6);
