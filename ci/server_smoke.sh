@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test for the search daemon.
+#
+# Runs the same job twice: once on an undisturbed server, and once on a
+# server that is killed with SIGKILL mid-job and restarted. The daemon
+# must re-queue the interrupted job from its manifest, resume it from
+# its checkpoint journal, and produce a result whose best_score_hex and
+# circuit are byte-identical to the uninterrupted run's.
+#
+# Usage: ci/server_smoke.sh [BUILD_DIR] (default: build)
+set -euo pipefail
+
+BUILD=${1:-build}
+CLI="$BUILD/examples/elivagar_cli"
+SRV="$BUILD/examples/elivagar_server"
+PORT=${SMOKE_PORT:-7461}
+WORK=$(mktemp -d)
+SRV_PID=""
+
+cleanup() {
+    [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SPEC=(--benchmark moons --candidates 48 --scale 0.1 --seed 55)
+
+wait_up() {
+    for _ in $(seq 1 100); do
+        if "$CLI" health --port "$PORT" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: server never came up" >&2
+    return 1
+}
+
+json_field() { # file field -> value
+    python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+print(doc["result"][sys.argv[2]])' "$1" "$2"
+}
+
+echo "== clean reference run =="
+"$SRV" --port "$PORT" --data-dir "$WORK/clean" --drain-sec 10 \
+    > "$WORK/clean.log" 2>&1 &
+SRV_PID=$!
+wait_up
+"$CLI" submit --port "$PORT" "${SPEC[@]}" --watch > /dev/null
+"$CLI" result --port "$PORT" --id job-1 > "$WORK/clean_result.json"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+SRV_PID=""
+
+echo "== interrupted run: SIGKILL mid-job =="
+"$SRV" --port "$PORT" --data-dir "$WORK/crash" --drain-sec 10 \
+    > "$WORK/crash1.log" 2>&1 &
+SRV_PID=$!
+wait_up
+"$CLI" submit --port "$PORT" "${SPEC[@]}" > /dev/null
+# Wait until the job has journaled CNR progress, then pull the plug.
+for _ in $(seq 1 400); do
+    if "$CLI" status --port "$PORT" --id job-1 \
+            | grep -Eq '"phase": "cnr", "done": [1-9]'; then
+        break
+    fi
+    sleep 0.02
+done
+"$CLI" status --port "$PORT" --id job-1
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+echo "== restart: the job must resume and complete =="
+"$SRV" --port "$PORT" --data-dir "$WORK/crash" --drain-sec 10 \
+    > "$WORK/crash2.log" 2>&1 &
+SRV_PID=$!
+wait_up
+"$CLI" watch --port "$PORT" --id job-1 > "$WORK/crash_watch.txt"
+"$CLI" result --port "$PORT" --id job-1 > "$WORK/crash_result.json"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+SRV_PID=""
+
+echo "== compare =="
+clean_hex=$(json_field "$WORK/clean_result.json" best_score_hex)
+crash_hex=$(json_field "$WORK/crash_result.json" best_score_hex)
+clean_circuit=$(json_field "$WORK/clean_result.json" circuit)
+crash_circuit=$(json_field "$WORK/crash_result.json" circuit)
+resumed=$(json_field "$WORK/crash_result.json" resumed)
+
+echo "clean best_score_hex:   $clean_hex"
+echo "resumed best_score_hex: $crash_hex (resumed=$resumed)"
+
+if [ "$clean_hex" != "$crash_hex" ]; then
+    echo "FAIL: best_score_hex differs after crash recovery" >&2
+    exit 1
+fi
+if [ "$clean_circuit" != "$crash_circuit" ]; then
+    echo "FAIL: selected circuit differs after crash recovery" >&2
+    exit 1
+fi
+if [ "$resumed" != "True" ] && [ "$resumed" != "true" ]; then
+    echo "FAIL: recovered run did not resume from the journal" >&2
+    exit 1
+fi
+echo "PASS: crash recovery is bit-identical and resumed"

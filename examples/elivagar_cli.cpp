@@ -12,6 +12,18 @@
  *                [--report FILE] [--list]
  *   elivagar_cli lint [FILE ...] [--builtin] [--device NAME]
  *                [--replica] [--require-embedding-prefix] [--rules]
+ *   elivagar_cli submit|status|cancel|result|watch|health
+ *                [--host A] [--port N] ...      (thin client mode)
+ *
+ * One-shot runs accept --deadline-sec: the search is cancelled
+ * cooperatively when the wall-clock budget expires (exit status 3);
+ * with --checkpoint the finished stages stay journaled, so re-running
+ * resumes instead of starting over.
+ *
+ * Client mode talks to a running elivagar_server over its JSON line
+ * protocol: `submit` sends a job spec built from the same
+ * --benchmark/--device/... flags, `watch` streams status lines until
+ * the job reaches a terminal state.
  *
  * Observability: --trace writes a Chrome trace_event JSON (open in
  * https://ui.perfetto.dev), --metrics turns on the counter registry and
@@ -26,6 +38,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -33,6 +46,7 @@
 
 #include "circuit/builders.hpp"
 #include "circuit/serialize.hpp"
+#include "common/cancel.hpp"
 #include "common/logging.hpp"
 #include "compiler/compile.hpp"
 #include "core/candidate_gen.hpp"
@@ -45,6 +59,9 @@
 #include "obs/trace.hpp"
 #include "qml/synthetic.hpp"
 #include "qml/trainer.hpp"
+#include "server/json_value.hpp"
+#include "server/protocol.hpp"
+#include "server/tcp.hpp"
 #include "sim/fusion.hpp"
 
 namespace {
@@ -64,6 +81,8 @@ struct CliOptions
     std::string trace_path;
     std::string report_path;
     bool metrics = false;
+    /** Wall-clock budget for the search phase; 0 disables. */
+    double deadline_sec = 0.0;
 };
 
 void
@@ -82,6 +101,9 @@ print_usage()
         "  --emit text|qasm   print the selected circuit\n"
         "  --checkpoint PATH  journal the search; resumes if PATH "
         "exists\n"
+        "  --deadline-sec F   cancel the search after F seconds of "
+        "wall clock\n"
+        "                     (exit 3; journaled stages survive)\n"
         "  --fault-rate F     inject transient backend faults with "
         "probability F\n"
         "  --trace FILE       write a Chrome trace of the search "
@@ -91,7 +113,10 @@ print_usage()
         "  --list             list benchmarks and devices, then exit\n"
         "subcommands:\n"
         "  lint               static-verify circuits and devices "
-        "(elivagar_cli lint --help)\n");
+        "(elivagar_cli lint --help)\n"
+        "  submit|status|cancel|result|watch|health\n"
+        "                     talk to a running elivagar_server "
+        "(elivagar_cli submit --help)\n");
 }
 
 bool
@@ -123,6 +148,8 @@ parse(int argc, char **argv, CliOptions &options)
             options.emit = value();
         else if (arg == "--checkpoint")
             options.checkpoint = value();
+        else if (arg == "--deadline-sec")
+            options.deadline_sec = std::atof(value());
         else if (arg == "--fault-rate")
             options.fault_rate = std::atof(value());
         else if (arg == "--trace")
@@ -366,11 +393,209 @@ run_lint(int argc, char **argv)
     return 0;
 }
 
+/** Options for the client subcommands (submit/status/...). */
+struct ClientCliOptions
+{
+    std::string host = "127.0.0.1";
+    int port = 7421;
+    std::string id;
+    elv::srv::JobSpec spec;
+    /** submit only: stream status until terminal after submitting. */
+    bool watch_after = false;
+};
+
+void
+print_client_usage()
+{
+    std::printf(
+        "usage: elivagar_cli submit|status|cancel|result|watch|health "
+        "[options]\n"
+        "  --host A           server address (default 127.0.0.1)\n"
+        "  --port N           server port (default 7421)\n"
+        "  --id job-N         job id (status/cancel/result/watch)\n"
+        "submit options (mirror the one-shot search flags):\n"
+        "  --benchmark NAME --device NAME --candidates N --seed N\n"
+        "  --scale F --priority N --deadline-sec F\n"
+        "  --watch            stream status until the job finishes\n"
+        "`status` without --id lists every job the server knows.\n");
+}
+
+/** True when the response says ok; always prints the response line. */
+bool
+print_response(const std::string &response)
+{
+    std::printf("%s\n", response.c_str());
+    elv::srv::JsonValue value;
+    std::string error;
+    if (!elv::srv::json_parse(response, value, error))
+        return false;
+    const elv::srv::JsonValue *ok = value.get("ok");
+    return ok && ok->as_bool(false);
+}
+
+/** Stream status lines for `id` until it reaches a terminal state. */
+int
+watch_until_terminal(elv::srv::Client &client, const std::string &id)
+{
+    std::string error;
+    if (!client.send_line(elv::srv::make_watch_request(id), error))
+        elv::fatal("watch failed: " + error);
+    std::string line;
+    if (!client.read_line(line, error)) // the {"ok":...} ack
+        elv::fatal("watch failed: " + error);
+    if (!print_response(line))
+        return 1;
+    while (client.read_line(line, error)) {
+        std::printf("%s\n", line.c_str());
+        std::fflush(stdout);
+        elv::srv::JsonValue value;
+        std::string parse_error;
+        if (!elv::srv::json_parse(line, value, parse_error))
+            continue;
+        const elv::srv::JsonValue *state = value.get("state");
+        if (!state || !state->is_string())
+            continue;
+        const auto parsed =
+            elv::srv::job_state_from_name(state->text);
+        if (parsed && elv::srv::job_state_terminal(*parsed))
+            return *parsed == elv::srv::JobState::Completed ? 0 : 2;
+    }
+    elv::fatal("watch stream ended early: " + error);
+    return 1;
+}
+
+int
+run_client(int argc, char **argv)
+{
+    using namespace elv;
+
+    const std::string op = argv[1];
+    ClientCliOptions options;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                elv::fatal("missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--host")
+            options.host = value();
+        else if (arg == "--port")
+            options.port = std::atoi(value());
+        else if (arg == "--id")
+            options.id = value();
+        else if (arg == "--benchmark")
+            options.spec.benchmark = value();
+        else if (arg == "--device")
+            options.spec.device = value();
+        else if (arg == "--candidates")
+            options.spec.candidates = std::atoi(value());
+        else if (arg == "--seed")
+            options.spec.seed = static_cast<std::uint64_t>(
+                std::strtoull(value(), nullptr, 10));
+        else if (arg == "--scale")
+            options.spec.scale = std::atof(value());
+        else if (arg == "--priority")
+            options.spec.priority = std::atoi(value());
+        else if (arg == "--deadline-sec")
+            options.spec.deadline_sec = std::atof(value());
+        else if (arg == "--watch")
+            options.watch_after = true;
+        else if (arg == "--help" || arg == "-h") {
+            print_client_usage();
+            return 0;
+        } else {
+            elv::fatal("unknown client option: " + arg);
+        }
+    }
+    if (options.port <= 0 || options.port > 65535)
+        elv::fatal("--port must lie in [1, 65535]");
+
+    std::string error;
+    srv::Client client(options.host,
+                       static_cast<std::uint16_t>(options.port), error);
+    if (!client.connected())
+        elv::fatal("cannot connect to " + options.host + ":" +
+                   std::to_string(options.port) + ": " + error);
+
+    auto roundtrip = [&](const std::string &request) -> int {
+        std::string response;
+        if (!client.request(request, response, error))
+            elv::fatal("request failed: " + error);
+        return print_response(response) ? 0 : 1;
+    };
+    auto require_id = [&]() {
+        if (options.id.empty())
+            elv::fatal(op + " needs --id job-N");
+    };
+
+    if (op == "submit") {
+        std::string response;
+        if (!client.request(srv::make_submit_request(options.spec),
+                            response, error))
+            elv::fatal("request failed: " + error);
+        if (!print_response(response))
+            return 1;
+        if (!options.watch_after)
+            return 0;
+        srv::JsonValue value;
+        std::string parse_error;
+        if (!srv::json_parse(response, value, parse_error))
+            return 1;
+        const srv::JsonValue *id = value.get("id");
+        if (!id || !id->is_string())
+            return 1;
+        return watch_until_terminal(client, id->text);
+    }
+    if (op == "status")
+        return roundtrip(options.id.empty()
+                             ? srv::make_jobs_request()
+                             : srv::make_status_request(options.id));
+    if (op == "cancel") {
+        require_id();
+        return roundtrip(srv::make_cancel_request(options.id));
+    }
+    if (op == "result") {
+        require_id();
+        return roundtrip(srv::make_result_request(options.id));
+    }
+    if (op == "watch") {
+        require_id();
+        return watch_until_terminal(client, options.id);
+    }
+    if (op == "health")
+        return roundtrip(srv::make_health_request());
+    elv::fatal("unknown client subcommand: " + op);
+    return 1;
+}
+
+bool
+is_client_op(const char *arg)
+{
+    for (const char *op :
+         {"submit", "status", "cancel", "result", "watch", "health"})
+        if (std::strcmp(arg, op) == 0)
+            return true;
+    return false;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && is_client_op(argv[1])) {
+        try {
+            return run_client(argc, argv);
+        } catch (const elv::UsageError &error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            print_client_usage();
+            return 1;
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            return 1;
+        }
+    }
     if (argc > 1 && std::strcmp(argv[1], "lint") == 0) {
         try {
             return run_lint(argc, argv);
@@ -409,6 +634,14 @@ main(int argc, char **argv)
         config.seed = options.seed;
         config.threads = options.threads < 0 ? 0 : options.threads;
         config.resilience.checkpoint_path = options.checkpoint;
+        if (options.deadline_sec > 0.0) {
+            // Same cooperative-cancellation machinery the server uses
+            // for per-job deadlines; the hooks are not fingerprinted,
+            // so a journaled run resumes under a different budget.
+            auto token = std::make_shared<CancelToken>();
+            token->set_deadline_after(options.deadline_sec);
+            config.hooks.cancel = token;
+        }
         if (options.fault_rate > 0.0) {
             config.resilience.enabled = true;
             config.resilience.faults.transient_rate = options.fault_rate;
@@ -509,6 +742,14 @@ main(int argc, char **argv)
             elv::fatal("--emit expects 'text' or 'qasm'");
         }
         return 0;
+    } catch (const CancelledError &error) {
+        std::fprintf(stderr, "search cancelled: %s\n", error.what());
+        if (!options.checkpoint.empty())
+            std::fprintf(stderr,
+                         "completed stages are journaled in %s; "
+                         "re-running resumes there\n",
+                         options.checkpoint.c_str());
+        return 3;
     } catch (const UsageError &error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         print_usage();

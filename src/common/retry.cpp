@@ -30,7 +30,17 @@ RetryPolicy::backoff_delay_ms(int retry_index, Rng &rng) const
                      std::pow(backoff_multiplier,
                               static_cast<double>(retry_index));
     nominal = std::min(nominal, max_backoff_ms);
-    // Full-jitter style: uniform in nominal * [1 - jitter, 1 + jitter],
+    if (full_jitter) {
+        // Bounded full jitter: uniform in nominal * [1 - jitter, 1].
+        // The draw never exceeds the nominal delay, so a fleet of
+        // synchronized clients spreads out instead of stampeding, and
+        // the (1 - jitter) floor preserves backoff progress.
+        const double floor_factor = 1.0 - jitter;
+        const double factor =
+            floor_factor + jitter * rng.uniform();
+        return std::max(0.0, nominal * factor);
+    }
+    // Symmetric band: uniform in nominal * [1 - jitter, 1 + jitter],
     // so concurrent clients do not retry in lockstep.
     const double factor = 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
     return std::max(0.0, nominal * factor);

@@ -31,6 +31,16 @@ struct RetryPolicy
     /** Uniform jitter as a fraction of the nominal delay, in [0, 1]. */
     double jitter = 0.25;
     /**
+     * Bounded full jitter (AWS-style, with a floor): draw the delay
+     * uniformly from [nominal * (1 - jitter), nominal] instead of the
+     * symmetric band around the nominal. Concurrent clients whose
+     * retries would otherwise synchronize spread across the window,
+     * while the floor keeps exponential progress — jitter = 1 is
+     * classic full jitter over [0, nominal]. Deterministic in the
+     * caller's RNG stream, like every other draw.
+     */
+    bool full_jitter = false;
+    /**
      * Per-call deadline: once a single logical call has accumulated this
      * much simulated wait (queue time + backoff), stop retrying the
      * current backend and degrade. 0 disables the deadline.

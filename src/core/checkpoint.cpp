@@ -24,11 +24,62 @@ double_to_hex(double value)
 double
 double_from_hex(const std::string &text)
 {
-    char *end = nullptr;
-    const double value = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || *end != '\0')
+    double value = 0.0;
+    if (!try_double_from_hex(text, value))
         elv::fatal("journal: bad numeric field '" + text + "'");
     return value;
+}
+
+bool
+try_double_from_hex(const std::string &text, double &value)
+{
+    char *end = nullptr;
+    value = std::strtod(text.c_str(), &end);
+    return end != text.c_str() && *end == '\0';
+}
+
+namespace {
+
+/** FNV-1a over the record body (the torn-write detector). */
+std::uint64_t
+record_hash(const std::string &body)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char c : body) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+std::string
+record_with_checksum(const std::string &body)
+{
+    char sum[32];
+    std::snprintf(sum, sizeof(sum), " ~%016llx",
+                  static_cast<unsigned long long>(record_hash(body)));
+    return body + sum;
+}
+
+bool
+strip_record_checksum(std::string &line)
+{
+    // The token is " ~" + 16 hex digits, always at the end of the line.
+    constexpr std::size_t token = 2 + 16;
+    if (line.size() < token + 1)
+        return false;
+    const std::size_t body_len = line.size() - token;
+    if (line[body_len] != ' ' || line[body_len + 1] != '~')
+        return false;
+    const std::string hex = line.substr(body_len + 2);
+    char *end = nullptr;
+    const std::uint64_t seen = std::strtoull(hex.c_str(), &end, 16);
+    if (end != hex.c_str() + 16)
+        return false;
+    line.resize(body_len);
+    return seen == record_hash(line);
 }
 
 SearchJournal::SearchJournal(std::string path, std::uint64_t fingerprint)
@@ -67,10 +118,12 @@ SearchJournal::parse_record(const std::string &line)
         if (circuit_line.empty())
             return false;
         // Parse now so a truncated/corrupt circuit fails at load, not
-        // mid-search.
+        // mid-search. Any parse failure — including invariant throws on
+        // mangled bytes — just marks the record malformed; load()
+        // decides whether that means torn tail or corruption.
         try {
             circ::from_text_line(circuit_line);
-        } catch (const elv::UsageError &) {
+        } catch (const std::exception &) {
             return false;
         }
         slot(index).circuit_line = std::move(circuit_line);
@@ -82,11 +135,13 @@ SearchJournal::parse_record(const std::string &line)
         std::string value;
         std::uint64_t executions = 0, retries = 0;
         int degraded = 0;
-        if (!(ls >> value >> executions >> degraded >> retries))
+        double cnr = 0.0;
+        if (!(ls >> value >> executions >> degraded >> retries) ||
+            !try_double_from_hex(value, cnr))
             return false;
         CheckpointEntry &e = slot(index);
         e.has_cnr = true;
-        e.cnr = double_from_hex(value);
+        e.cnr = cnr;
         e.cnr_executions = executions;
         e.degraded = degraded != 0;
         e.retries = retries;
@@ -95,11 +150,13 @@ SearchJournal::parse_record(const std::string &line)
     if (keyword == "repcap") {
         std::string value;
         std::uint64_t executions = 0;
-        if (!(ls >> value >> executions))
+        double repcap = 0.0;
+        if (!(ls >> value >> executions) ||
+            !try_double_from_hex(value, repcap))
             return false;
         CheckpointEntry &e = slot(index);
         e.has_repcap = true;
-        e.repcap = double_from_hex(value);
+        e.repcap = repcap;
         e.repcap_executions = executions;
         return true;
     }
@@ -119,17 +176,34 @@ SearchJournal::load()
     if (!in)
         return false;
 
+    // A crash while writing the very first append can tear the header
+    // block itself. A torn header with nothing after it is equivalent
+    // to "no journal yet": reset the file and start clean. A damaged
+    // header with records following is real corruption.
+    auto reset_torn_header = [&](const char *what) -> bool {
+        std::string rest;
+        if (std::getline(in, rest))
+            elv::fatal("journal " + path_ + ": " + what);
+        in.close();
+        elv::warn("journal " + path_ + ": dropping header torn by an "
+                  "interrupted write");
+        std::filesystem::resize_file(path_, 0);
+        return false;
+    };
+
     std::string line;
-    if (!std::getline(in, line) || line != "elv-search-journal 1")
-        elv::fatal("journal " + path_ + ": missing header");
     if (!std::getline(in, line))
-        elv::fatal("journal " + path_ + ": missing fingerprint");
+        return false; // empty file: nothing journaled yet
+    if (line != "elv-search-journal 2")
+        return reset_torn_header("missing header");
+    if (!std::getline(in, line))
+        return reset_torn_header("missing fingerprint");
     {
         std::istringstream ls(line);
         std::string keyword, hex;
         ls >> keyword >> hex;
-        if (keyword != "fingerprint" || hex.empty())
-            elv::fatal("journal " + path_ + ": bad fingerprint line");
+        if (keyword != "fingerprint" || hex.size() != 16)
+            return reset_torn_header("bad fingerprint line");
         const std::uint64_t seen =
             std::strtoull(hex.c_str(), nullptr, 16);
         if (seen != fingerprint_)
@@ -140,19 +214,21 @@ SearchJournal::load()
 
     // A crash can tear the record in flight, so a malformed FINAL line
     // is an expected artifact: drop it (and truncate it away so later
-    // loads stay clean). A malformed line anywhere else is corruption.
+    // loads stay clean). The per-record checksum makes "malformed"
+    // exact — truncation at any byte offset fails verification, even
+    // when the shortened fields would still lex as valid numbers. A
+    // malformed line anywhere else is corruption.
     std::streampos line_start = in.tellg();
     std::streampos torn_at(-1);
     while (std::getline(in, line)) {
         // getline on the unterminated final line still extracts it.
         if (!line.empty() && line.back() == '\r')
             line.pop_back();
-        if (!line.empty() && !parse_record(line)) {
-            const std::string bad = line;
+        if (!line.empty() &&
+            !(strip_record_checksum(line) && parse_record(line))) {
             torn_at = line_start;
             if (std::getline(in, line))
-                elv::fatal("journal " + path_ + ": corrupt record '" +
-                           bad + "'");
+                elv::fatal("journal " + path_ + ": corrupt record");
             break;
         }
         line_start = in.tellg();
@@ -181,11 +257,11 @@ SearchJournal::append(const std::string &line, bool with_header)
         char hex[32];
         std::snprintf(hex, sizeof(hex), "%016llx",
                       static_cast<unsigned long long>(fingerprint_));
-        out << "elv-search-journal 1\n";
+        out << "elv-search-journal 2\n";
         out << "fingerprint " << hex << "\n";
         header_written_ = true;
     }
-    out << line << "\n";
+    out << record_with_checksum(line) << "\n";
     out.flush();
     if (!out)
         elv::fatal("failed to append to journal " + path_);

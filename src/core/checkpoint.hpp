@@ -12,14 +12,22 @@
  * seeded RNG the final ranking is bit-identical to an uninterrupted
  * run.
  *
- * File format (line-oriented, hexfloat for exact double round-trips):
+ * File format (line-oriented, hexfloat for exact double round-trips;
+ * every record carries a trailing ~<hex> FNV checksum of its body):
  *
- *   elv-search-journal 1
+ *   elv-search-journal 2
  *   fingerprint <hex64>          # hash of the search configuration
- *   cand <idx> <escaped circuit> # written after generation
- *   cnr <idx> <hexfloat> <execs> <degraded> <retries>
- *   repcap <idx> <hexfloat> <execs>
- *   rank <idx> <score hexfloat> <rejected> # audit only, not replayed
+ *   cand <idx> <escaped circuit> ~<sum> # written after generation
+ *   cnr <idx> <hexfloat> <execs> <degraded> <retries> ~<sum>
+ *   repcap <idx> <hexfloat> <execs> ~<sum>
+ *   rank <idx> <score hexfloat> <rejected> ~<sum> # audit, not replayed
+ *
+ * The checksum is what makes torn-write detection exact: a record
+ * truncated at *any* byte offset — even one whose shortened fields
+ * still lex as valid numbers ("15" torn to "1") — fails verification.
+ * A bad FINAL record is an expected crash artifact and is dropped
+ * (that candidate's stage simply re-runs on resume); a bad record
+ * anywhere else is real corruption and stays fatal.
  */
 #pragma once
 
@@ -95,5 +103,23 @@ class SearchJournal
 /** Exact double <-> text helpers (hexfloat, bit-preserving). */
 std::string double_to_hex(double value);
 double double_from_hex(const std::string &text);
+/** Non-throwing parse; false on malformed text (torn-record path). */
+bool try_double_from_hex(const std::string &text, double &value);
+
+/** @name Checksummed append-only record lines
+ * Shared by the search journal and the server's job manifest: `body`
+ * is stored as "<body> ~<hex>" where <hex> is a 64-bit FNV-1a hash of
+ * the body, so a line truncated or damaged at any byte offset is
+ * detected on load.
+ * @{ */
+/** Render `body` with its trailing checksum token appended. */
+std::string record_with_checksum(const std::string &body);
+/**
+ * Verify and strip the checksum token of `line` in place. Returns
+ * false (leaving `line` unspecified) when the token is missing or
+ * does not match the body — i.e. the record is torn or corrupt.
+ */
+bool strip_record_checksum(std::string &line);
+/** @} */
 
 } // namespace elv::core

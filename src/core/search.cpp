@@ -174,6 +174,32 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
     const auto pool_size =
         static_cast<std::size_t>(config.num_candidates);
 
+    // Cooperative cancellation + progress. Checks run at phase
+    // boundaries and at every per-candidate task; a tripped token
+    // unwinds with CancelledError (the pool cancels queued tasks and
+    // rethrows), leaving the journal valid for a later resume. The
+    // progress callback fires from worker threads and must be
+    // thread-safe; neither hook influences search values.
+    const elv::CancelToken *cancel = config.hooks.cancel.get();
+    auto check_cancel = [&](const char *where) {
+        if (cancel)
+            cancel->check(where);
+    };
+    std::atomic<std::size_t> phase_done{0};
+    auto phase_begin = [&](const char *phase) {
+        check_cancel(phase);
+        phase_done.store(0, std::memory_order_relaxed);
+        if (config.hooks.progress)
+            config.hooks.progress(phase, 0, pool_size);
+    };
+    auto task_done = [&](const char *phase) {
+        if (config.hooks.progress)
+            config.hooks.progress(
+                phase,
+                phase_done.fetch_add(1, std::memory_order_relaxed) + 1,
+                pool_size);
+    };
+
     // Every candidate owns its ResilientExecutor (ladder, retry state,
     // fault streams seeded per candidate), so evaluations stay
     // order-independent under concurrency. crash_after is the one
@@ -210,9 +236,11 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
     result.candidates.resize(pool_size);
     {
         PhaseScope phase("generate", result);
+        phase_begin("generate");
         pool.parallel_for(pool_size, [&](std::size_t n) {
             ELV_TRACE_SCOPE("generate", "search.candidate",
                             static_cast<std::int64_t>(n));
+            check_cancel("generate");
             auto &record = result.candidates[n];
             elv::Rng gen_rng(stage_seed(config.seed, 0xe11a, n));
             record.circuit =
@@ -235,6 +263,7 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
                                               record.circuit);
                 }
             }
+            task_done("generate");
         });
     }
 
@@ -253,10 +282,12 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
     };
     if (config.use_cnr) {
         PhaseScope phase("cnr", result);
+        phase_begin("cnr");
         std::vector<CnrStageStats> stats(pool_size);
         pool.parallel_for(pool_size, [&](std::size_t n) {
             ELV_TRACE_SCOPE("cnr", "search.candidate",
                             static_cast<std::int64_t>(n));
+            check_cancel("cnr");
             auto &record = result.candidates[n];
             const CheckpointEntry *entry = journal_entry(n);
             if (entry && entry->has_cnr) {
@@ -264,6 +295,7 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
                 record.degraded = entry->degraded;
                 record.retries = entry->retries;
                 stats[n].executions = entry->cnr_executions;
+                task_done("cnr");
                 return;
             }
             std::unique_ptr<exec::ResilientExecutor> executor;
@@ -290,6 +322,7 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
                                     cnr.circuit_executions, cnr.degraded,
                                     cnr.retries);
             }
+            task_done("cnr");
         });
         for (std::size_t n = 0; n < pool_size; ++n) {
             result.cnr_executions += stats[n].executions;
@@ -337,16 +370,21 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
     std::vector<std::uint64_t> repcap_execs(pool_size, 0);
     {
         PhaseScope phase("repcap", result);
+        phase_begin("repcap");
         pool.parallel_for(pool_size, [&](std::size_t n) {
             auto &record = result.candidates[n];
-            if (record.rejected_by_cnr)
+            if (record.rejected_by_cnr) {
+                task_done("repcap");
                 return;
+            }
             ELV_TRACE_SCOPE("repcap", "search.candidate",
                             static_cast<std::int64_t>(n));
+            check_cancel("repcap");
             const CheckpointEntry *entry = journal_entry(n);
             if (entry && entry->has_repcap) {
                 record.repcap = entry->repcap;
                 repcap_execs[n] = entry->repcap_executions;
+                task_done("repcap");
                 return;
             }
             elv::Rng rc_rng(stage_seed(config.seed, 0x2e9ca9, n));
@@ -359,6 +397,7 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
                 journal->record_repcap(static_cast<int>(n), rc.repcap,
                                        rc.circuit_executions);
             }
+            task_done("repcap");
         });
         for (std::size_t n = 0; n < pool_size; ++n) {
             if (!result.candidates[n].rejected_by_cnr)
@@ -371,6 +410,7 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
     const CandidateRecord *best = nullptr;
     {
         PhaseScope phase("rank", result);
+        phase_begin("rank");
         for (int n = 0; n < config.num_candidates; ++n) {
             auto &record =
                 result.candidates[static_cast<std::size_t>(n)];

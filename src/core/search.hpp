@@ -35,9 +35,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/retry.hpp"
 #include "core/candidate_gen.hpp"
 #include "core/cnr.hpp"
@@ -74,6 +77,32 @@ struct SearchResilience
     std::string checkpoint_path;
 };
 
+/**
+ * Runtime observation/control hooks. None of these fields affect search
+ * *results* — they only let a controller abort or watch a run — so they
+ * are excluded from config_fingerprint and a journaled search resumes
+ * under different hooks (e.g. a fresh deadline after a crash).
+ */
+struct SearchHooks
+{
+    /**
+     * Cooperative cancellation: polled at phase boundaries and at every
+     * per-candidate task, from worker threads. A tripped token unwinds
+     * elivagar_search with CancelledError; completed stages stay in the
+     * checkpoint journal, so a cancelled run resumes where it stopped.
+     */
+    std::shared_ptr<const elv::CancelToken> cancel;
+    /**
+     * Progress events: called as `progress(phase, done, total)` once
+     * when a phase starts (done = 0) and after each completed
+     * per-candidate task. Invoked concurrently from pool workers; the
+     * callback must be thread-safe and cheap.
+     */
+    std::function<void(const char *phase, std::size_t done,
+                       std::size_t total)>
+        progress;
+};
+
 /** Full Elivagar configuration. */
 struct ElivagarConfig
 {
@@ -104,6 +133,8 @@ struct ElivagarConfig
     int threads = 1;
     /** Fault tolerance, degradation and checkpointing. */
     SearchResilience resilience;
+    /** Cancellation + progress observation (not fingerprinted). */
+    SearchHooks hooks;
 };
 
 /** Per-candidate diagnostics. */

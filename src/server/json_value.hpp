@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal JSON document model + recursive-descent parser for the wire
+ * protocol. The obs layer only ever *writes* JSON; the server must also
+ * *read* it (requests arrive as one JSON object per line), and a
+ * network-facing parser has to reject malformed input without taking
+ * the daemon down — parse() therefore reports errors by value, never
+ * by throwing.
+ *
+ * Scope is deliberately small: objects, arrays, strings (with the
+ * standard escapes incl. \uXXXX), numbers, booleans, null. Numbers
+ * keep their raw token next to the double value so 64-bit integers
+ * (seeds) round-trip without the 2^53 precision cliff.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace elv::srv {
+
+/** One parsed JSON value (a tree; cheap enough for protocol lines). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    /** String payload, or the raw numeric token for Kind::Number. */
+    std::string text;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> members;
+
+    bool is_object() const { return kind == Kind::Object; }
+    bool is_string() const { return kind == Kind::String; }
+    bool is_number() const { return kind == Kind::Number; }
+
+    /** Object member by key, or nullptr (also for non-objects). */
+    const JsonValue *get(const std::string &key) const;
+
+    /** @name Typed accessors with defaults (wrong kind = default) @{ */
+    std::string as_string(const std::string &fallback = "") const;
+    double as_number(double fallback = 0.0) const;
+    std::int64_t as_int(std::int64_t fallback = 0) const;
+    std::uint64_t as_uint(std::uint64_t fallback = 0) const;
+    bool as_bool(bool fallback = false) const;
+    /** @} */
+};
+
+/**
+ * Parse one JSON document. Returns false and sets `error` (with a byte
+ * offset) on malformed input; trailing non-whitespace is an error.
+ * Depth is bounded so hostile input cannot blow the stack.
+ */
+bool json_parse(const std::string &text, JsonValue &out,
+                std::string &error);
+
+} // namespace elv::srv

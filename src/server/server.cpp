@@ -1,0 +1,796 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "circuit/serialize.hpp"
+#include "common/logging.hpp"
+#include "core/checkpoint.hpp"
+#include "core/run_report.hpp"
+#include "device/device.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace elv::srv {
+
+namespace {
+
+/** Manifest header line (format version 1). */
+constexpr const char *kManifestHeader = "elv-server-manifest 1";
+
+double
+seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+bool
+known_benchmark(const std::string &name)
+{
+    for (const auto &spec : qml::benchmark_table())
+        if (spec.name == name)
+            return true;
+    return false;
+}
+
+bool
+known_device(const std::string &name)
+{
+    for (const auto &entry : dev::device_catalog())
+        if (entry == name)
+            return true;
+    return false;
+}
+
+/** Write `doc` to `path` atomically (tmp + rename). */
+bool
+write_file_atomic(const std::string &path, const std::string &doc)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *file = std::fopen(tmp.c_str(), "w");
+    if (!file)
+        return false;
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), file) == doc.size() &&
+        std::fputc('\n', file) != EOF;
+    std::fclose(file);
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+ServerConfig::check() const
+{
+    if (data_dir.empty())
+        elv::fatal("server needs a data directory");
+    if (queue_capacity < 1)
+        elv::fatal("server queue capacity must be >= 1");
+    if (workers < 1)
+        elv::fatal("server needs at least one worker");
+    if (thread_budget < 0)
+        elv::fatal("server thread budget must be >= 0");
+    if (default_retry_after_ms < 0.0)
+        elv::fatal("server retry-after must be non-negative");
+}
+
+Server::Server(const ServerConfig &config)
+    : config_(config), start_time_(std::chrono::steady_clock::now())
+{
+    config_.check();
+    thread_budget_ = config_.thread_budget > 0
+                         ? config_.thread_budget
+                         : par::ThreadPool::hardware_threads();
+    std::filesystem::create_directories(config_.data_dir);
+    if (config_.metrics)
+        obs::Registry::global().set_enabled(true);
+    recover_from_manifest();
+    workers_.reserve(static_cast<std::size_t>(config_.workers));
+    for (int w = 0; w < config_.workers; ++w)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+Server::~Server()
+{
+    stop_hard();
+}
+
+std::string
+Server::job_path(const std::string &id, const char *suffix) const
+{
+    return config_.data_dir + "/" + id + suffix;
+}
+
+void
+Server::bump_epoch_locked()
+{
+    ++epoch_;
+    cv_.notify_all();
+}
+
+void
+Server::append_manifest_locked(const std::string &body)
+{
+    const std::string path = config_.data_dir + "/jobs.manifest";
+    const bool fresh = !std::filesystem::exists(path) ||
+                       std::filesystem::file_size(path) == 0;
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        elv::fatal("cannot append to manifest " + path);
+    if (fresh)
+        out << kManifestHeader << "\n";
+    out << core::record_with_checksum(body) << "\n";
+    out.flush();
+    if (!out)
+        elv::fatal("failed to append to manifest " + path);
+}
+
+void
+Server::record_state_locked(JobRecord &rec, JobState state,
+                            const std::string &detail)
+{
+    rec.state = state;
+    rec.detail = detail;
+    std::string body = std::string("state ") + rec.id + " " +
+                       job_state_name(state);
+    if (!detail.empty())
+        body += " " + detail;
+    append_manifest_locked(body);
+    bump_epoch_locked();
+}
+
+void
+Server::recover_from_manifest()
+{
+    const std::string path = config_.data_dir + "/jobs.manifest";
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return;
+
+    std::string line;
+    if (!std::getline(in, line))
+        return;
+    if (line != kManifestHeader) {
+        // Torn header with nothing after it = empty manifest; with
+        // records after it = corruption (same policy as the journal).
+        if (std::getline(in, line))
+            elv::fatal("manifest " + path + ": bad header");
+        elv::warn("manifest " + path + ": dropping torn header");
+        in.close();
+        std::filesystem::resize_file(path, 0);
+        return;
+    }
+
+    struct Recovered
+    {
+        JobSpec spec;
+        JobState state = JobState::Queued;
+        std::string detail;
+        bool have_spec = false;
+    };
+    std::map<std::uint64_t, Recovered> seen;
+
+    auto parse_line = [&](std::string &record) -> bool {
+        std::istringstream ls(record);
+        std::string keyword, id;
+        ls >> keyword >> id;
+        if (id.rfind("job-", 0) != 0)
+            return false;
+        char *end = nullptr;
+        const std::uint64_t number =
+            std::strtoull(id.c_str() + 4, &end, 10);
+        if (*end != '\0' || number == 0)
+            return false;
+        if (keyword == "job") {
+            std::string spec_json;
+            std::getline(ls >> std::ws, spec_json);
+            JsonValue value;
+            std::string error;
+            JobSpec spec;
+            if (!json_parse(spec_json, value, error) ||
+                !JobSpec::from_json(value, spec, error))
+                return false;
+            Recovered &r = seen[number];
+            r.spec = spec;
+            r.have_spec = true;
+            return true;
+        }
+        if (keyword == "state") {
+            std::string name;
+            ls >> name;
+            const auto state = job_state_from_name(name);
+            if (!state)
+                return false;
+            Recovered &r = seen[number];
+            std::getline(ls >> std::ws, r.detail);
+            r.state = *state;
+            return true;
+        }
+        return false;
+    };
+
+    // Same torn-tail policy as the search journal: a record damaged at
+    // any byte offset fails its checksum; final = crash artifact
+    // (drop + truncate), interior = corruption.
+    std::streampos line_start = in.tellg();
+    std::streampos torn_at(-1);
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (!line.empty() &&
+            !(core::strip_record_checksum(line) && parse_line(line))) {
+            torn_at = line_start;
+            if (std::getline(in, line))
+                elv::fatal("manifest " + path + ": corrupt record");
+            break;
+        }
+        line_start = in.tellg();
+    }
+    in.close();
+    if (torn_at >= std::streampos(0)) {
+        elv::warn("manifest " + path +
+                  ": dropping record torn by an interrupted write");
+        std::filesystem::resize_file(
+            path, static_cast<std::uintmax_t>(torn_at));
+    }
+
+    for (auto &[number, r] : seen) {
+        if (!r.have_spec)
+            continue; // state record for a job whose spec line tore
+        auto rec = std::make_shared<JobRecord>();
+        rec->number = number;
+        rec->id = "job-" + std::to_string(number);
+        rec->spec = r.spec;
+        rec->token = std::make_shared<elv::CancelToken>();
+        next_number_ = std::max(next_number_, number + 1);
+        if (job_state_terminal(r.state)) {
+            rec->state = r.state;
+            rec->detail = r.detail;
+            if (r.state == JobState::Completed) {
+                // Status fields like best_score live in the result
+                // document, not the manifest; rehydrate them.
+                std::ifstream doc(job_path(rec->id, ".result.json"),
+                                  std::ios::binary);
+                std::ostringstream text;
+                text << doc.rdbuf();
+                JsonValue value;
+                std::string error;
+                if (doc && json_parse(text.str(), value, error)) {
+                    if (const JsonValue *v = value.get("best_score"))
+                        rec->best_score = v->as_number(0.0);
+                    if (const JsonValue *v = value.get("resumed"))
+                        rec->search_resumed = v->as_bool(false);
+                }
+            }
+        } else {
+            // Interrupted mid-queue or mid-run: re-queue. The job's
+            // checkpoint journal replays everything it completed, so
+            // the re-run is a resume, not a restart.
+            rec->state = JobState::Queued;
+            rec->recovered = true;
+            rec->detail = "recovered after restart";
+            queue_.push_back(rec);
+            ++recovered_;
+        }
+        records_[number] = rec;
+    }
+    if (recovered_ > 0)
+        elv::inform("server: recovered " + std::to_string(recovered_) +
+                    " interrupted job(s) from " + path);
+    std::sort(queue_.begin(), queue_.end(),
+              [](const RecordPtr &a, const RecordPtr &b) {
+                  return a->number < b->number;
+              });
+}
+
+int
+Server::quota_for_depth_locked(std::size_t depth) const
+{
+    int quota = std::max(1, thread_budget_ / config_.workers);
+    // Ladder step 1: under backlog pressure every job runs narrower,
+    // trading single-job latency for queue drain rate.
+    if (depth * 4 >= config_.queue_capacity * 3)
+        return 1;
+    if (depth * 2 >= config_.queue_capacity)
+        quota = std::max(1, quota / 2);
+    return quota;
+}
+
+double
+Server::retry_after_estimate_locked() const
+{
+    const double per_job =
+        job_ms_ewma_ > 0.0 ? job_ms_ewma_ : config_.default_retry_after_ms;
+    const double backlog =
+        static_cast<double>(queue_.size() + 1) /
+        static_cast<double>(config_.workers);
+    return std::max(config_.default_retry_after_ms, per_job * backlog);
+}
+
+SubmitOutcome
+Server::submit(const JobSpec &spec)
+{
+    SubmitOutcome outcome;
+    try {
+        spec.check();
+    } catch (const elv::UsageError &e) {
+        outcome.error = e.what();
+        return outcome;
+    }
+    if (!known_benchmark(spec.benchmark)) {
+        outcome.error = "unknown benchmark: " + spec.benchmark;
+        return outcome;
+    }
+    if (!known_device(spec.device)) {
+        outcome.error = "unknown device: " + spec.device;
+        return outcome;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ || stopping_) {
+        outcome.error = "server is draining";
+        outcome.retry_after_ms = config_.default_retry_after_ms;
+        ELV_METRIC_COUNT("server.jobs.rejected");
+        ++rejected_;
+        return outcome;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+        // Ladder step 3: a higher-priority arrival may displace the
+        // lowest-priority queued job — explicitly, with a Rejected
+        // state the shed job's owner can observe.
+        auto lowest = std::min_element(
+            queue_.begin(), queue_.end(),
+            [](const RecordPtr &a, const RecordPtr &b) {
+                if (a->spec.priority != b->spec.priority)
+                    return a->spec.priority < b->spec.priority;
+                return a->number > b->number; // shed the newest
+            });
+        if (lowest != queue_.end() &&
+            (*lowest)->spec.priority < spec.priority) {
+            const RecordPtr shed = *lowest;
+            queue_.erase(lowest);
+            record_state_locked(
+                *shed, JobState::Rejected,
+                "shed under overload by a higher-priority job");
+            ++shed_;
+            ELV_METRIC_COUNT("server.jobs.shed");
+        } else {
+            // Ladder step 2: plain admission rejection. No record is
+            // allocated, so a submission flood cannot grow memory.
+            outcome.error = "queue full";
+            outcome.retry_after_ms = retry_after_estimate_locked();
+            ++rejected_;
+            ELV_METRIC_COUNT("server.jobs.rejected");
+            return outcome;
+        }
+    }
+
+    auto rec = std::make_shared<JobRecord>();
+    rec->number = next_number_++;
+    rec->id = "job-" + std::to_string(rec->number);
+    rec->spec = spec;
+    rec->token = std::make_shared<elv::CancelToken>();
+    append_manifest_locked("job " + rec->id + " " + spec.to_json());
+    records_[rec->number] = rec;
+    queue_.push_back(rec);
+    ++submitted_;
+    ELV_METRIC_COUNT("server.jobs.submitted");
+    ELV_METRIC_GAUGE_ADD("server.queue.depth", 1);
+    bump_epoch_locked();
+
+    outcome.accepted = true;
+    outcome.id = rec->id;
+    return outcome;
+}
+
+Server::RecordPtr
+Server::pop_best_locked()
+{
+    auto best = std::max_element(
+        queue_.begin(), queue_.end(),
+        [](const RecordPtr &a, const RecordPtr &b) {
+            if (a->spec.priority != b->spec.priority)
+                return a->spec.priority < b->spec.priority;
+            return a->number > b->number; // FIFO within a priority
+        });
+    RecordPtr rec = *best;
+    queue_.erase(best);
+    ELV_METRIC_GAUGE_ADD("server.queue.depth", -1);
+    return rec;
+}
+
+void
+Server::worker_loop()
+{
+    while (true) {
+        RecordPtr rec;
+        int quota = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] {
+                return stopping_ || (!draining_ && !queue_.empty());
+            });
+            if (stopping_)
+                return;
+            rec = pop_best_locked();
+            quota = quota_for_depth_locked(queue_.size());
+            rec->thread_quota = quota;
+            rec->state = JobState::Running;
+            append_manifest_locked("state " + rec->id + " running");
+            ++running_;
+            threads_in_use_ += quota;
+            ELV_METRIC_GAUGE_ADD("server.jobs.running", 1);
+            bump_epoch_locked();
+        }
+
+        const auto job_start = std::chrono::steady_clock::now();
+        run_job(rec);
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --running_;
+            threads_in_use_ -= quota;
+            ELV_METRIC_GAUGE_ADD("server.jobs.running", -1);
+            const double ms = seconds_since(job_start) * 1000.0;
+            job_ms_ewma_ = job_ms_ewma_ <= 0.0
+                               ? ms
+                               : 0.7 * job_ms_ewma_ + 0.3 * ms;
+            bump_epoch_locked();
+        }
+    }
+}
+
+void
+Server::run_job(const RecordPtr &rec)
+{
+    const std::shared_ptr<elv::CancelToken> token = rec->token;
+    token->set_deadline_after(rec->spec.deadline_sec);
+
+    JobState final_state = JobState::Completed;
+    std::string detail;
+    bool have_result = false;
+    core::SearchResult result;
+    core::ElivagarConfig config;
+
+    try {
+        const qml::Benchmark bench = qml::make_benchmark(
+            rec->spec.benchmark, rec->spec.seed, rec->spec.scale);
+        const dev::Device device = dev::make_device(rec->spec.device);
+        config = job_search_config(rec->spec, bench.spec,
+                                   rec->thread_quota,
+                                   job_path(rec->id, ".journal"));
+        config.hooks.cancel = token;
+        config.hooks.progress = [this, rec](const char *phase,
+                                            std::size_t done,
+                                            std::size_t total) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            rec->phase = phase;
+            rec->done = done;
+            rec->total = total;
+            bump_epoch_locked();
+        };
+        result = core::elivagar_search(device, bench.train, config);
+        have_result = true;
+    } catch (const elv::CancelledError &e) {
+        // Deadline expiry and client cancel both land here: the job is
+        // cancelled, not failed, and its journal keeps the finished
+        // prefix for a possible future resubmission.
+        final_state = JobState::Cancelled;
+        detail = e.what();
+    } catch (const std::exception &e) {
+        final_state = JobState::Failed;
+        detail = e.what();
+    }
+
+    double best_score = 0.0;
+    if (have_result) {
+        best_score = result.best_score;
+        obs::JsonWriter json;
+        json.begin_object();
+        json.kv("id", rec->id);
+        json.kv("benchmark", rec->spec.benchmark);
+        json.kv("device", rec->spec.device);
+        json.kv("seed", static_cast<std::uint64_t>(rec->spec.seed));
+        json.kv("candidates", rec->spec.candidates);
+        json.kv("best_score", result.best_score);
+        // Hexfloat survives the JSON round-trip bit-exactly; this is
+        // what the crash-recovery smoke test compares.
+        json.kv("best_score_hex",
+                core::double_to_hex(result.best_score));
+        json.kv("survivors", result.survivors);
+        json.kv("cnr_executions", result.cnr_executions);
+        json.kv("repcap_executions", result.repcap_executions);
+        json.kv("degraded_candidates", result.degraded_candidates);
+        json.kv("resumed", result.resumed);
+        json.kv("total_seconds", result.total_seconds);
+        json.kv("circuit", circ::to_text_line(result.best_circuit));
+        json.end_object();
+        if (!write_file_atomic(job_path(rec->id, ".result.json"),
+                               json.str()))
+            elv::warn("cannot write result for " + rec->id);
+        core::write_run_report(job_path(rec->id, ".report.json"),
+                               config, result);
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    rec->phase.clear();
+    if (rec->abandoned) {
+        // Shutdown interrupted the job; its manifest state still reads
+        // "running", so the next start re-queues and resumes it. No
+        // terminal record — this is the crash-equivalent path.
+        rec->state = JobState::Queued;
+        rec->detail = "interrupted by shutdown";
+        bump_epoch_locked();
+        return;
+    }
+    if (have_result) {
+        rec->best_score = best_score;
+        rec->search_resumed = result.resumed;
+        record_state_locked(*rec, JobState::Completed, "");
+        ++completed_;
+        ELV_METRIC_COUNT("server.jobs.completed");
+        if (result.resumed)
+            ELV_METRIC_COUNT("server.jobs.resumed");
+        return;
+    }
+    record_state_locked(*rec, final_state, detail);
+    if (final_state == JobState::Cancelled) {
+        ++cancelled_;
+        ELV_METRIC_COUNT("server.jobs.cancelled");
+    } else {
+        ++failed_;
+        ELV_METRIC_COUNT("server.jobs.failed");
+    }
+}
+
+JobStatusSnapshot
+Server::snapshot_locked(const JobRecord &rec) const
+{
+    JobStatusSnapshot snap;
+    snap.id = rec.id;
+    snap.spec = rec.spec;
+    snap.state = rec.state;
+    snap.phase = rec.phase;
+    snap.done = rec.done;
+    snap.total = rec.total;
+    snap.detail = rec.detail;
+    snap.thread_quota = rec.thread_quota;
+    snap.recovered = rec.recovered;
+    snap.search_resumed = rec.search_resumed;
+    snap.best_score = rec.best_score;
+    return snap;
+}
+
+std::optional<JobStatusSnapshot>
+Server::status(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[number, rec] : records_)
+        if (rec->id == id)
+            return snapshot_locked(*rec);
+    return std::nullopt;
+}
+
+std::vector<JobStatusSnapshot>
+Server::jobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<JobStatusSnapshot> out;
+    out.reserve(records_.size());
+    for (const auto &[number, rec] : records_)
+        out.push_back(snapshot_locked(*rec));
+    return out;
+}
+
+bool
+Server::cancel(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[number, rec] : records_) {
+        if (rec->id != id)
+            continue;
+        if (job_state_terminal(rec->state))
+            return true; // idempotent
+        rec->token->cancel();
+        if (rec->state == JobState::Queued) {
+            queue_.erase(std::remove(queue_.begin(), queue_.end(), rec),
+                         queue_.end());
+            record_state_locked(*rec, JobState::Cancelled,
+                                "cancelled before start");
+            ++cancelled_;
+            ELV_METRIC_COUNT("server.jobs.cancelled");
+            ELV_METRIC_GAUGE_ADD("server.queue.depth", -1);
+        }
+        // A running job unwinds at its next cancellation checkpoint;
+        // its worker records the terminal state.
+        return true;
+    }
+    return false;
+}
+
+std::optional<std::string>
+Server::result_json(const std::string &id) const
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bool completed = false;
+        for (const auto &[number, rec] : records_)
+            if (rec->id == id)
+                completed = rec->state == JobState::Completed;
+        if (!completed)
+            return std::nullopt;
+    }
+    std::ifstream in(job_path(id, ".result.json"), std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string doc = text.str();
+    while (!doc.empty() && (doc.back() == '\n' || doc.back() == '\r'))
+        doc.pop_back();
+    return doc;
+}
+
+std::string
+Server::health_json() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    obs::JsonWriter json;
+    json.begin_object();
+    json.kv("state", stopping_   ? "stopped"
+                     : draining_ ? "draining"
+                                 : "serving");
+    json.kv("uptime_sec", seconds_since(start_time_));
+    json.kv("queue_depth", static_cast<std::uint64_t>(queue_.size()));
+    json.kv("queue_capacity",
+            static_cast<std::uint64_t>(config_.queue_capacity));
+    json.kv("running", running_);
+    json.kv("workers", config_.workers);
+    json.kv("thread_budget", thread_budget_);
+    json.kv("threads_in_use", threads_in_use_);
+    json.key("jobs").begin_object();
+    json.kv("submitted", submitted_);
+    json.kv("completed", completed_);
+    json.kv("failed", failed_);
+    json.kv("cancelled", cancelled_);
+    json.kv("rejected", rejected_);
+    json.kv("shed", shed_);
+    json.kv("recovered", recovered_);
+    json.end_object();
+    json.end_object();
+    return json.str();
+}
+
+std::string
+Server::metrics_json() const
+{
+    obs::JsonWriter json;
+    json.begin_object();
+    json.key("health").raw(health_json());
+
+    const obs::MetricsSnapshot snap =
+        obs::Registry::global().snapshot();
+    json.key("metrics").begin_object();
+    json.kv("enabled", obs::Registry::global().enabled());
+    json.key("counters").begin_object();
+    for (const auto &counter : snap.counters)
+        json.kv(counter.name, counter.value);
+    json.end_object();
+    json.key("gauges").begin_object();
+    for (const auto &gauge : snap.gauges) {
+        json.key(gauge.name).begin_object();
+        json.kv("value", gauge.value);
+        json.kv("max", gauge.max);
+        json.end_object();
+    }
+    json.end_object();
+    json.end_object();
+
+    json.end_object();
+    return json.str();
+}
+
+void
+Server::drain(double deadline_sec)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopped_)
+        return;
+    draining_ = true;
+    bump_epoch_locked();
+    // In-flight jobs get the deadline; queued jobs stay queued (their
+    // manifest state is non-terminal, so the next start picks them up).
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(std::max(0.0, deadline_sec)));
+    cv_.wait_until(lock, deadline, [this] { return running_ == 0; });
+    lock.unlock();
+    stop_workers(true);
+}
+
+void
+Server::stop_hard()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_)
+            return;
+        draining_ = true;
+    }
+    stop_workers(true);
+}
+
+void
+Server::stop_workers(bool abandon_running)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_)
+            return;
+        stopping_ = true;
+        if (abandon_running) {
+            for (const auto &[number, rec] : records_) {
+                if (rec->state == JobState::Running) {
+                    rec->abandoned = true;
+                    rec->token->cancel();
+                }
+            }
+        }
+        bump_epoch_locked();
+    }
+    for (std::thread &worker : workers_)
+        if (worker.joinable())
+            worker.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+    bump_epoch_locked();
+}
+
+std::uint64_t
+Server::change_epoch() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return epoch_;
+}
+
+std::uint64_t
+Server::wait_for_change(std::uint64_t last_seen,
+                        double timeout_sec) const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock,
+                 std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(
+                         std::max(0.0, timeout_sec))),
+                 [&] { return epoch_ != last_seen || stopping_; });
+    return epoch_;
+}
+
+int
+Server::threads_in_use() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return threads_in_use_;
+}
+
+bool
+Server::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return draining_ || stopping_;
+}
+
+} // namespace elv::srv

@@ -1,0 +1,309 @@
+#include "server/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "obs/json.hpp"
+#include "server/protocol.hpp"
+
+namespace elv::srv {
+
+namespace {
+
+/** Write the whole buffer plus a newline; false on a broken peer. */
+bool
+send_all_line(int fd, const std::string &line)
+{
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n =
+            ::send(fd, framed.data() + sent, framed.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Read one '\n'-terminated line into `line` (terminator stripped),
+ * buffering leftovers in `buffer`. Returns false on EOF/error, and
+ * fails the connection outright past `max_bytes` — a peer that never
+ * sends a newline must not grow our memory.
+ */
+bool
+recv_line(int fd, std::string &buffer, std::string &line,
+          std::size_t max_bytes)
+{
+    while (true) {
+        const std::size_t eol = buffer.find('\n');
+        if (eol != std::string::npos) {
+            line = buffer.substr(0, eol);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            buffer.erase(0, eol + 1);
+            return true;
+        }
+        if (buffer.size() > max_bytes)
+            return false;
+        char chunk[4096];
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n == 0)
+            return false;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+std::string
+transport_error_line(const std::string &what)
+{
+    obs::JsonWriter json;
+    json.begin_object();
+    json.kv("ok", false);
+    json.kv("error", what);
+    json.end_object();
+    return json.str();
+}
+
+} // namespace
+
+TcpServer::TcpServer(Server &server, const TcpConfig &config)
+    : server_(server), config_(config)
+{
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        elv::fatal("cannot create server socket: " +
+                   std::string(std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1)
+        elv::fatal("bad bind address: " + config_.host);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        elv::fatal("cannot bind " + config_.host + ":" +
+                   std::to_string(config_.port) + ": " +
+                   std::string(std::strerror(errno)));
+    if (::listen(listen_fd_, 16) != 0)
+        elv::fatal("cannot listen: " +
+                   std::string(std::strerror(errno)));
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        port_ = ntohs(bound.sin_port);
+}
+
+TcpServer::~TcpServer()
+{
+    stop();
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (Connection &conn : conns_)
+        if (conn.thread.joinable())
+            conn.thread.join();
+    if (listen_fd_ >= 0)
+        ::close(listen_fd_);
+}
+
+void
+TcpServer::stop()
+{
+    stop_.store(true);
+}
+
+void
+TcpServer::reap_locked()
+{
+    for (auto it = conns_.begin(); it != conns_.end();) {
+        if (it->done.load()) {
+            if (it->thread.joinable())
+                it->thread.join();
+            it = conns_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+TcpServer::run()
+{
+    while (!stop_.load()) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        // Short poll tick so stop() and signal handlers are honoured
+        // promptly even when no client ever connects.
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0 && errno != EINTR)
+            break;
+        if (ready <= 0 || !(pfd.revents & POLLIN))
+            continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        if (active_.load() >= config_.max_connections) {
+            // Explicit rejection, mirroring job admission control.
+            send_all_line(
+                fd, transport_error_line("too many connections"));
+            ::close(fd);
+            continue;
+        }
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        reap_locked();
+        conns_.emplace_back();
+        Connection &conn = conns_.back();
+        ++active_;
+        conn.thread = std::thread([this, fd, &conn] {
+            handle_connection(fd);
+            ::close(fd);
+            --active_;
+            conn.done.store(true);
+        });
+    }
+}
+
+void
+TcpServer::handle_connection(int fd)
+{
+    std::string buffer, line;
+    while (!stop_.load() &&
+           recv_line(fd, buffer, line, config_.max_line_bytes)) {
+        if (line.empty())
+            continue;
+        const RequestOutcome outcome =
+            handle_request(server_, line, config_.allow_shutdown);
+        if (!send_all_line(fd, outcome.response))
+            return;
+        if (outcome.action == RequestAction::Watch) {
+            watch_job(fd, outcome.watch_id);
+        } else if (outcome.action == RequestAction::Shutdown) {
+            shutdown_drain_sec_ = outcome.drain_sec;
+            shutdown_requested_.store(true);
+            stop_.store(true);
+            return;
+        }
+    }
+}
+
+void
+TcpServer::watch_job(int fd, const std::string &id)
+{
+    std::uint64_t epoch = server_.change_epoch();
+    while (!stop_.load()) {
+        const auto snap = server_.status(id);
+        if (!snap)
+            return;
+        if (!send_all_line(fd, status_json(*snap)))
+            return;
+        if (job_state_terminal(snap->state))
+            return;
+        // Wake on any state change; the timeout keeps the stop flag
+        // honoured even on an idle server.
+        epoch = server_.wait_for_change(epoch, 0.5);
+    }
+}
+
+Client::Client(const std::string &host, std::uint16_t port,
+               std::string &error)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        error = std::strerror(errno);
+        return;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        error = "bad address: " + host;
+        ::close(fd_);
+        fd_ = -1;
+        return;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        error = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+Client::send_line(const std::string &line, std::string &error)
+{
+    if (fd_ < 0) {
+        error = "not connected";
+        return false;
+    }
+    if (!send_all_line(fd_, line)) {
+        error = "connection lost while sending";
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::read_line(std::string &line, std::string &error,
+                  double timeout_sec)
+{
+    if (fd_ < 0) {
+        error = "not connected";
+        return false;
+    }
+    if (timeout_sec > 0.0 && buffer_.find('\n') == std::string::npos) {
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        const int ms = static_cast<int>(timeout_sec * 1000.0);
+        const int ready = ::poll(&pfd, 1, ms);
+        if (ready <= 0) {
+            error = ready == 0 ? "timed out waiting for the server"
+                               : std::strerror(errno);
+            return false;
+        }
+    }
+    if (!recv_line(fd_, buffer_, line, 1024 * 1024)) {
+        error = "connection closed by the server";
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::request(const std::string &line, std::string &response,
+                std::string &error)
+{
+    return send_line(line, error) && read_line(response, error);
+}
+
+} // namespace elv::srv

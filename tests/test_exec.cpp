@@ -8,6 +8,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -167,6 +168,55 @@ TEST(RetryPolicy, JitterStaysWithinBand)
         EXPECT_GE(d, 75.0);
         EXPECT_LE(d, 125.0);
     }
+}
+
+TEST(RetryPolicy, FullJitterStaysWithinBoundedWindow)
+{
+    RetryPolicy policy;
+    policy.initial_backoff_ms = 100.0;
+    policy.jitter = 0.25;
+    policy.full_jitter = true;
+    Rng rng(11);
+    // Bounded full jitter draws from [nominal * (1 - j), nominal]: it
+    // only ever shortens the delay, never stretches past the nominal.
+    bool below_nominal = false;
+    for (int i = 0; i < 200; ++i) {
+        const double d = policy.backoff_delay_ms(0, rng);
+        EXPECT_GE(d, 75.0);
+        EXPECT_LE(d, 100.0);
+        below_nominal |= d < 99.0;
+    }
+    EXPECT_TRUE(below_nominal);
+}
+
+TEST(RetryPolicy, ClassicFullJitterSpansDownToZero)
+{
+    RetryPolicy policy;
+    policy.initial_backoff_ms = 100.0;
+    policy.jitter = 1.0; // classic full jitter: [0, nominal]
+    policy.full_jitter = true;
+    Rng rng(13);
+    double lo = 1e300, hi = 0.0;
+    for (int i = 0; i < 500; ++i) {
+        const double d = policy.backoff_delay_ms(0, rng);
+        EXPECT_GE(d, 0.0);
+        EXPECT_LE(d, 100.0);
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+    }
+    // The window is actually exercised, not collapsed.
+    EXPECT_LT(lo, 20.0);
+    EXPECT_GT(hi, 80.0);
+}
+
+TEST(RetryPolicy, FullJitterDeterministicGivenSeed)
+{
+    RetryPolicy policy;
+    policy.full_jitter = true;
+    Rng a(42), b(42);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_DOUBLE_EQ(policy.backoff_delay_ms(i % 5, a),
+                         policy.backoff_delay_ms(i % 5, b));
 }
 
 TEST(RetryPolicy, DeterministicGivenSeed)

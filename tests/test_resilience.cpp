@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "circuit/serialize.hpp"
@@ -168,6 +170,123 @@ TEST(Resilience, CompletedJournalReplaysWithoutReexecution)
     expect_identical_results(first, second);
     // Everything came from the journal: the executor serviced no calls.
     EXPECT_EQ(second.exec_counters.calls, 0u);
+    std::remove(config.resilience.checkpoint_path.c_str());
+}
+
+TEST(Resilience, TornFinalRecordToleratedAtEveryByteOffset)
+{
+    const qml::Benchmark bench = qml::make_benchmark("moons", 14, 0.1);
+    const dev::Device device = dev::make_device("ibm_lagos");
+    ElivagarConfig config = small_search_config(bench.spec.dim);
+    config.resilience.enabled = true;
+    config.resilience.checkpoint_path = journal_path("torn_reference");
+
+    const SearchResult reference =
+        elivagar_search(device, bench.train, config);
+    EXPECT_FALSE(reference.resumed);
+
+    // The complete journal, byte for byte.
+    std::string blob;
+    {
+        std::ifstream in(config.resilience.checkpoint_path,
+                         std::ios::binary);
+        ASSERT_TRUE(in.good());
+        std::ostringstream text;
+        text << in.rdbuf();
+        blob = text.str();
+    }
+    std::remove(config.resilience.checkpoint_path.c_str());
+    ASSERT_FALSE(blob.empty());
+    ASSERT_EQ(blob.back(), '\n');
+
+    // Simulate a crash torn mid-append at EVERY byte offset of the
+    // final record: from "record entirely missing" through "all bytes
+    // but the trailing newline". Each torn journal must load (warning,
+    // not abort), drop exactly the damaged record, and resume to the
+    // bit-identical result.
+    const std::size_t last_start =
+        blob.rfind('\n', blob.size() - 2) + 1;
+    const std::string torn_path = journal_path("torn_case");
+    ElivagarConfig resume_config = config;
+    resume_config.resilience.checkpoint_path = torn_path;
+    for (std::size_t cut = last_start; cut < blob.size(); ++cut) {
+        {
+            std::ofstream out(torn_path,
+                              std::ios::binary | std::ios::trunc);
+            out.write(blob.data(),
+                      static_cast<std::streamsize>(cut));
+        }
+        const SearchResult resumed =
+            elivagar_search(device, bench.train, resume_config);
+        EXPECT_TRUE(resumed.resumed) << "cut at byte " << cut;
+        expect_identical_results(reference, resumed);
+        std::remove(torn_path.c_str());
+    }
+
+    // A record torn anywhere but the tail is real corruption, not a
+    // crash artifact, and must still abort loudly.
+    {
+        const std::size_t prev_start =
+            blob.rfind('\n', last_start - 2) + 1;
+        std::string interior = blob.substr(0, prev_start + 5);
+        // Re-attach the intact final record after the damaged one.
+        interior += "\n" + blob.substr(last_start);
+        std::ofstream out(torn_path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(interior.data(),
+                  static_cast<std::streamsize>(interior.size()));
+        out.close();
+        EXPECT_THROW(elivagar_search(device, bench.train, resume_config),
+                     UsageError);
+        std::remove(torn_path.c_str());
+    }
+}
+
+TEST(Resilience, TruncatedNumericFieldFailsChecksumNotSilently)
+{
+    // Regression for the nastiest torn-write shape: a truncated line
+    // whose shortened fields still lex as valid numbers ("15" torn to
+    // "1"). The per-record checksum must catch it even when the torn
+    // prefix happens to parse.
+    const qml::Benchmark bench = qml::make_benchmark("moons", 15, 0.1);
+    const dev::Device device = dev::make_device("ibm_lagos");
+    ElivagarConfig config = small_search_config(bench.spec.dim);
+    config.resilience.enabled = true;
+    config.resilience.checkpoint_path = journal_path("torn_numeric");
+
+    const SearchResult reference =
+        elivagar_search(device, bench.train, config);
+
+    std::string blob;
+    {
+        std::ifstream in(config.resilience.checkpoint_path,
+                         std::ios::binary);
+        std::ostringstream text;
+        text << in.rdbuf();
+        blob = text.str();
+    }
+    // Drop the checksum suffix AND part of the last field, then
+    // re-terminate the line: without checksums this parsed "cleanly".
+    const std::size_t last_start =
+        blob.rfind('\n', blob.size() - 2) + 1;
+    std::string last = blob.substr(
+        last_start, blob.size() - last_start - 1);
+    const std::size_t tilde = last.rfind(" ~");
+    ASSERT_NE(tilde, std::string::npos);
+    last.resize(tilde > 2 ? tilde - 2 : tilde);
+    const std::string doctored =
+        blob.substr(0, last_start) + last + "\n";
+    {
+        std::ofstream out(config.resilience.checkpoint_path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(doctored.data(),
+                  static_cast<std::streamsize>(doctored.size()));
+    }
+
+    const SearchResult resumed =
+        elivagar_search(device, bench.train, config);
+    EXPECT_TRUE(resumed.resumed);
+    expect_identical_results(reference, resumed);
     std::remove(config.resilience.checkpoint_path.c_str());
 }
 
