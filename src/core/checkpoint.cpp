@@ -194,8 +194,22 @@ SearchJournal::load()
     std::string line;
     if (!std::getline(in, line))
         return false; // empty file: nothing journaled yet
-    if (line != "elv-search-journal 2")
+    if (line != "elv-search-journal 2") {
+        // A well-formed header of another version is not a torn write:
+        // it is a journal left behind by an older (or newer) build.
+        // Its record format may differ, so discard it and run the
+        // search fresh rather than fail with a misleading
+        // corruption error.
+        if (line.rfind("elv-search-journal ", 0) == 0) {
+            elv::warn("journal " + path_ + ": incompatible version '" +
+                      line + "' (this build writes version 2); "
+                      "discarding it and restarting the search fresh");
+            in.close();
+            std::filesystem::resize_file(path_, 0);
+            return false;
+        }
         return reset_torn_header("missing header");
+    }
     if (!std::getline(in, line))
         return reset_torn_header("missing fingerprint");
     {

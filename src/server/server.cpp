@@ -281,6 +281,7 @@ Server::recover_from_manifest()
             rec->recovered = true;
             rec->detail = "recovered after restart";
             queue_.push_back(rec);
+            ELV_METRIC_GAUGE_ADD("server.queue.depth", 1);
             ++recovered_;
         }
         records_[number] = rec;
@@ -360,6 +361,7 @@ Server::submit(const JobSpec &spec)
             (*lowest)->spec.priority < spec.priority) {
             const RecordPtr shed = *lowest;
             queue_.erase(lowest);
+            ELV_METRIC_GAUGE_ADD("server.queue.depth", -1);
             record_state_locked(
                 *shed, JobState::Rejected,
                 "shed under overload by a higher-priority job");

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/logging.hpp"
@@ -38,6 +39,21 @@ send_all_line(int fd, const std::string &line)
     return true;
 }
 
+/** Pop one complete line off `buffer` (terminators stripped);
+ * false when no full line has arrived yet. */
+bool
+extract_line(std::string &buffer, std::string &line)
+{
+    const std::size_t eol = buffer.find('\n');
+    if (eol == std::string::npos)
+        return false;
+    line = buffer.substr(0, eol);
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    buffer.erase(0, eol + 1);
+    return true;
+}
+
 /**
  * Read one '\n'-terminated line into `line` (terminator stripped),
  * buffering leftovers in `buffer`. Returns false on EOF/error, and
@@ -49,14 +65,8 @@ recv_line(int fd, std::string &buffer, std::string &line,
           std::size_t max_bytes)
 {
     while (true) {
-        const std::size_t eol = buffer.find('\n');
-        if (eol != std::string::npos) {
-            line = buffer.substr(0, eol);
-            if (!line.empty() && line.back() == '\r')
-                line.pop_back();
-            buffer.erase(0, eol + 1);
+        if (extract_line(buffer, line))
             return true;
-        }
         if (buffer.size() > max_bytes)
             return false;
         char chunk[4096];
@@ -120,8 +130,16 @@ TcpServer::TcpServer(Server &server, const TcpConfig &config)
 TcpServer::~TcpServer()
 {
     stop();
-    std::lock_guard<std::mutex> lock(conns_mutex_);
-    for (Connection &conn : conns_)
+    // Join without holding conns_mutex_: a live connection thread
+    // takes it to invalidate its fd on the way out, so joining under
+    // the lock would deadlock. Swapping the list keeps the nodes (and
+    // the `conn` references the threads hold) alive.
+    std::list<Connection> conns;
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        conns.swap(conns_);
+    }
+    for (Connection &conn : conns)
         if (conn.thread.joinable())
             conn.thread.join();
     if (listen_fd_ >= 0)
@@ -132,6 +150,13 @@ void
 TcpServer::stop()
 {
     stop_.store(true);
+    // Half-close every live connection so threads blocked in recv()
+    // see EOF and exit; otherwise an idle client would block the
+    // destructor's join indefinitely.
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (Connection &conn : conns_)
+        if (conn.fd >= 0)
+            ::shutdown(conn.fd, SHUT_RDWR);
 }
 
 void
@@ -176,9 +201,16 @@ TcpServer::run()
         reap_locked();
         conns_.emplace_back();
         Connection &conn = conns_.back();
+        conn.fd = fd;
         ++active_;
         conn.thread = std::thread([this, fd, &conn] {
             handle_connection(fd);
+            {
+                // Invalidate before close so a concurrent stop()
+                // cannot shutdown() a recycled descriptor.
+                std::lock_guard<std::mutex> inner(conns_mutex_);
+                conn.fd = -1;
+            }
             ::close(fd);
             --active_;
             conn.done.store(true);
@@ -201,7 +233,7 @@ TcpServer::handle_connection(int fd)
         if (outcome.action == RequestAction::Watch) {
             watch_job(fd, outcome.watch_id);
         } else if (outcome.action == RequestAction::Shutdown) {
-            shutdown_drain_sec_ = outcome.drain_sec;
+            shutdown_drain_sec_.store(outcome.drain_sec);
             shutdown_requested_.store(true);
             stop_.store(true);
             return;
@@ -280,23 +312,64 @@ Client::read_line(std::string &line, std::string &error,
         error = "not connected";
         return false;
     }
-    if (timeout_sec > 0.0 && buffer_.find('\n') == std::string::npos) {
+    constexpr std::size_t max_bytes = 1024 * 1024;
+    if (timeout_sec <= 0.0) {
+        if (!recv_line(fd_, buffer_, line, max_bytes)) {
+            error = "connection closed by the server";
+            return false;
+        }
+        return true;
+    }
+    // The deadline covers the whole line, not just the first byte: a
+    // server that stalls mid-line must not hang the client past its
+    // requested timeout.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_sec));
+    while (true) {
+        if (extract_line(buffer_, line))
+            return true;
+        if (buffer_.size() > max_bytes) {
+            error = "response line too long";
+            return false;
+        }
+        const auto left = std::chrono::duration_cast<
+            std::chrono::milliseconds>(deadline -
+                                       std::chrono::steady_clock::now());
+        if (left.count() <= 0) {
+            error = "timed out waiting for the server";
+            return false;
+        }
         pollfd pfd{};
         pfd.fd = fd_;
         pfd.events = POLLIN;
-        const int ms = static_cast<int>(timeout_sec * 1000.0);
-        const int ready = ::poll(&pfd, 1, ms);
-        if (ready <= 0) {
-            error = ready == 0 ? "timed out waiting for the server"
-                               : std::strerror(errno);
+        const int ready =
+            ::poll(&pfd, 1, static_cast<int>(left.count()));
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            error = std::strerror(errno);
             return false;
         }
+        if (ready == 0) {
+            error = "timed out waiting for the server";
+            return false;
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n == 0) {
+            error = "connection closed by the server";
+            return false;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = std::strerror(errno);
+            return false;
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
     }
-    if (!recv_line(fd_, buffer_, line, 1024 * 1024)) {
-        error = "connection closed by the server";
-        return false;
-    }
-    return true;
 }
 
 bool

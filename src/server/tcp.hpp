@@ -63,8 +63,12 @@ class TcpServer
      */
     void run();
 
-    /** Ask run() to return; safe from any thread and from more than
-     * one caller. */
+    /**
+     * Ask run() to return; safe from any thread and from more than
+     * one caller. Also half-closes every live connection socket so
+     * threads blocked in recv() wake up and exit — without this an
+     * idle client would pin the destructor's join forever.
+     */
     void stop();
 
     /** A client requested shutdown (valid after run() returns). */
@@ -73,12 +77,19 @@ class TcpServer
         return shutdown_requested_.load();
     }
     /** Drain budget from the shutdown request. */
-    double shutdown_drain_sec() const { return shutdown_drain_sec_; }
+    double shutdown_drain_sec() const
+    {
+        return shutdown_drain_sec_.load();
+    }
 
   private:
     struct Connection
     {
         std::thread thread;
+        /** The socket; -1 once the owning thread has closed it.
+         * Guarded by conns_mutex_ so stop() never shuts down a
+         * recycled descriptor. */
+        int fd = -1;
         std::atomic<bool> done{false};
     };
 
@@ -98,7 +109,10 @@ class TcpServer
 
     std::atomic<bool> stop_{false};
     std::atomic<bool> shutdown_requested_{false};
-    double shutdown_drain_sec_ = 0.0;
+    // Atomic: written by a connection thread, read by the thread that
+    // ran run() — which may have left run() via a concurrent stop()
+    // rather than by observing this connection's stop_ store.
+    std::atomic<double> shutdown_drain_sec_{0.0};
 };
 
 /** @name Blocking client helpers (CLI client mode, tests) @{ */

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -303,6 +304,27 @@ TEST(Resilience, JournalFromDifferentConfigIsRejected)
     EXPECT_THROW(elivagar_search(device, bench.train, other),
                  UsageError);
     std::remove(config.resilience.checkpoint_path.c_str());
+}
+
+TEST(Resilience, OldJournalVersionDiscardedNotFatal)
+{
+    // Regression: a well-formed journal of another format version used
+    // to be mistaken for a torn header and, with records present,
+    // aborted the resume with a misleading "missing header" error. A
+    // stale version means the record format may differ: discard the
+    // journal and run the search fresh.
+    const std::string path = journal_path("old_version");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "elv-search-journal 1\n";
+        out << "fingerprint 0123456789abcdef\n";
+        out << record_with_checksum("cnr 0 0x1p+0 4 0 0") << "\n";
+    }
+    SearchJournal journal(path, 42);
+    EXPECT_FALSE(journal.load());
+    // The stale file was cleared, so the fresh run starts clean.
+    EXPECT_EQ(std::filesystem::file_size(path), 0u);
+    std::remove(path.c_str());
 }
 
 TEST(Resilience, AlwaysFailingDensityDegradesToStabilizer)

@@ -10,9 +10,15 @@
  */
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -604,6 +610,79 @@ TEST(Tcp, EndToEndOverLoopback)
 
     tcp.stop();
     accept_thread.join();
+}
+
+TEST(Tcp, StopUnblocksIdleConnections)
+{
+    // Regression: stop() used to only set a flag, so a connection
+    // thread blocked in recv() on an idle (or watch-finished) client
+    // kept the destructor's join waiting forever after SIGTERM.
+    Server server(small_config(fresh_dir("tcp_idle")));
+    TcpConfig tcp_config;
+    auto tcp = std::make_unique<TcpServer>(server, tcp_config);
+    std::thread accept_thread([&] { tcp->run(); });
+
+    std::string error, response;
+    Client idle("127.0.0.1", tcp->port(), error);
+    ASSERT_TRUE(idle.connected()) << error;
+    // One full exchange guarantees the connection thread exists and is
+    // back in recv() waiting for a next line that never comes.
+    ASSERT_TRUE(idle.request(make_health_request(), response, error));
+
+    // With the client still connected and silent, stop + destroy must
+    // finish promptly: stop() half-closes the socket so the blocked
+    // recv() returns instead of pinning the join.
+    const auto start = std::chrono::steady_clock::now();
+    tcp->stop();
+    accept_thread.join();
+    tcp.reset();
+    const double took =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_LT(took, 10.0);
+}
+
+TEST(Tcp, ClientReadTimeoutCoversPartialLines)
+{
+    // Regression: read_line applied its timeout only to the first
+    // poll(); a peer that sent half a line and then stalled hung the
+    // client in blocking recv() past the requested deadline.
+    const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(listen_fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof addr),
+              0);
+    ASSERT_EQ(::listen(listen_fd, 1), 0);
+    socklen_t len = sizeof addr;
+    ASSERT_EQ(::getsockname(listen_fd,
+                            reinterpret_cast<sockaddr *>(&addr), &len),
+              0);
+
+    std::string error;
+    Client client("127.0.0.1", ntohs(addr.sin_port), error);
+    ASSERT_TRUE(client.connected()) << error;
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(conn_fd, 0);
+    // Half a line — no terminator — then silence.
+    ASSERT_EQ(::send(conn_fd, "{\"ok\":tr", 8, 0), 8);
+
+    std::string line;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(client.read_line(line, error, 0.5));
+    const double took =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_GE(took, 0.4);
+    EXPECT_LT(took, 10.0);
+    EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+    ::close(conn_fd);
+    ::close(listen_fd);
 }
 
 } // namespace
