@@ -33,7 +33,9 @@
 #include "device/device.hpp"
 #include "harness.hpp"
 #include "noise/noise_model.hpp"
+#include "sim/cpu_features.hpp"
 #include "sim/fusion.hpp"
+#include "sim/precision.hpp"
 #include "sim/statevector.hpp"
 
 namespace {
@@ -117,9 +119,26 @@ fused_max_diff(const circ::Circuit &c, int qubits,
 struct SvTimings
 {
     double plain_s = 0.0;
-    double fused_s = 0.0;
+    double fused_scalar_s = 0.0;
+    double fused_simd_s = 0.0;
+    double fused_f32_s = 0.0;
     std::uint64_t ops_merged = 0;
 };
+
+/** Time one fused-program config for the precision `T` runs under the
+ *  currently active kernel tier. */
+template <typename T>
+double
+time_fused(const sim::FusedProgram &program, int qubits,
+           const std::vector<double> &params, int reps)
+{
+    sim::BasicStateVector<T> psi(qubits);
+    program.run(psi, params); // warm-up
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r)
+        program.run(psi, params);
+    return seconds_since(start) / reps;
+}
 
 SvTimings
 time_statevector(const circ::Circuit &c, int qubits, int reps)
@@ -139,11 +158,13 @@ time_statevector(const circ::Circuit &c, int qubits, int reps)
     // workloads (CNR replicas, RepCap inits, training epochs).
     const sim::FusedProgram program = sim::FusedProgram::compile(c);
     t.ops_merged = program.ops_merged();
-    program.run(psi, params); // warm-up
-    start = std::chrono::steady_clock::now();
-    for (int r = 0; r < reps; ++r)
-        program.run(psi, params);
-    t.fused_s = seconds_since(start) / reps;
+    // Scalar vs SIMD vs f32: same compiled program, different kernel
+    // tier / amplitude type, so the columns isolate the kernel cost.
+    sim::set_forced_tier(sim::KernelTier::Baseline);
+    t.fused_scalar_s = time_fused<double>(program, qubits, params, reps);
+    sim::clear_forced_tier();
+    t.fused_simd_s = time_fused<double>(program, qubits, params, reps);
+    t.fused_f32_s = time_fused<float>(program, qubits, params, reps);
     return t;
 }
 
@@ -182,10 +203,15 @@ main(int argc, char **argv)
 
     bool ok = true;
 
-    // Part 1: state-vector, per-gate dispatch vs fused program.
+    std::printf("kernel dispatch: %s\n",
+                sim::kernel_tier_name(sim::active_tier()));
+
+    // Part 1: state-vector, per-gate dispatch vs fused program, with
+    // the fused engine timed at every kernel tier / precision.
     Table sv("State-vector: per-gate vs fused (single-threaded)");
     sv.set_header({"circuit", "qubits", "ops merged", "per-gate (ms)",
-                   "fused (ms)", "speedup", "max |diff|"});
+                   "fused scalar (ms)", "fused simd (ms)",
+                   "simd speedup", "fused f32 (ms)", "max |diff|"});
     const std::vector<int> sv_qubits =
         small ? std::vector<int>{4, 6} : std::vector<int>{4, 6, 8, 10};
     for (const int qubits : sv_qubits) {
@@ -208,8 +234,12 @@ main(int argc, char **argv)
             sv.add_row({kc.name, std::to_string(qubits),
                         std::to_string(t.ops_merged),
                         Table::fmt(1e3 * t.plain_s, 4),
-                        Table::fmt(1e3 * t.fused_s, 4),
-                        Table::fmt(t.plain_s / t.fused_s, 2),
+                        Table::fmt(1e3 * t.fused_scalar_s, 4),
+                        Table::fmt(1e3 * t.fused_simd_s, 4),
+                        Table::fmt(t.fused_scalar_s /
+                                       std::max(1e-12, t.fused_simd_s),
+                                   2),
+                        Table::fmt(1e3 * t.fused_f32_s, 4),
                         Table::fmt(diff, 14)});
         }
     }
@@ -220,10 +250,13 @@ main(int argc, char **argv)
     // superoperator programs. Replicas are regenerated per size with a
     // fixed seed so both paths see identical circuits.
     const dev::Device device = dev::make_device("ibmq_mumbai");
-    Table dm("Noisy DM CNR path: Kraus loop vs superoperator programs");
-    dm.set_header({"qubits", "replicas", "kraus (ms)", "superop (ms)",
-                   "speedup", "max |prob diff|"});
-    double speedup_at_8 = 0.0;
+    Table dm("Noisy DM CNR path: Kraus loop vs superoperator programs "
+             "(scalar / SIMD / f32)");
+    dm.set_header({"qubits", "replicas", "kraus (ms)",
+                   "superop scalar (ms)", "superop simd (ms)",
+                   "simd speedup", "superop f32 (ms)",
+                   "max |prob diff|"});
+    double simd_speedup_at_8 = 0.0;
     const std::vector<int> dm_qubits =
         small ? std::vector<int>{4, 6} : std::vector<int>{4, 6, 8, 10};
     for (const int qubits : dm_qubits) {
@@ -238,6 +271,8 @@ main(int argc, char **argv)
         noise::NoisyDensitySimulator unfused(device);
         unfused.use_fused_execution(false);
         noise::NoisyDensitySimulator fused(device);
+        noise::NoisyDensitySimulator fused32(
+            device, 1.0, sim::Precision::Float32Proxy);
 
         double diff = 0.0;
         for (const circ::Circuit &replica : reps) {
@@ -248,35 +283,61 @@ main(int argc, char **argv)
         }
         ok = ok && diff <= 1e-9;
 
-        // Warm the per-simulator program cache first so the fused
-        // timing matches CNR's steady state (each replica is compiled
+        // Warm the per-simulator program caches first so the fused
+        // timings match CNR's steady state (each replica is compiled
         // once and executed for its fidelity evaluation).
-        double unfused_sum = 0.0, fused_sum = 0.0;
+        double f32_warm = 0.0;
+        for (const circ::Circuit &replica : reps)
+            f32_warm += fused32.fidelity(replica);
+        (void)f32_warm;
+
+        double unfused_sum = 0.0, scalar_sum = 0.0, fused_sum = 0.0,
+               f32_sum = 0.0;
         auto start = std::chrono::steady_clock::now();
         for (const circ::Circuit &replica : reps)
             unfused_sum += unfused.fidelity(replica);
         const double kraus_s = seconds_since(start);
 
+        // The acceptance comparison: identical compiled superoperator
+        // programs, scalar kernels vs the dispatched SIMD tier.
+        sim::set_forced_tier(sim::KernelTier::Baseline);
+        start = std::chrono::steady_clock::now();
+        for (const circ::Circuit &replica : reps)
+            scalar_sum += fused.fidelity(replica);
+        const double scalar_s = seconds_since(start);
+        sim::clear_forced_tier();
+
         start = std::chrono::steady_clock::now();
         for (const circ::Circuit &replica : reps)
             fused_sum += fused.fidelity(replica);
-        const double superop_s = seconds_since(start);
-        ok = ok && std::abs(unfused_sum - fused_sum) <= 1e-9 * replicas;
+        const double simd_s = seconds_since(start);
 
-        const double speedup = kraus_s / std::max(1e-12, superop_s);
+        start = std::chrono::steady_clock::now();
+        for (const circ::Circuit &replica : reps)
+            f32_sum += fused32.fidelity(replica);
+        const double f32_s = seconds_since(start);
+
+        ok = ok && std::abs(unfused_sum - fused_sum) <= 1e-9 * replicas;
+        ok = ok && std::abs(scalar_sum - fused_sum) <= 1e-9 * replicas;
+        ok = ok && std::abs(f32_sum - fused_sum) <= 1e-3 * replicas;
+
+        const double simd_speedup = scalar_s / std::max(1e-12, simd_s);
         if (qubits == 8)
-            speedup_at_8 = speedup;
+            simd_speedup_at_8 = simd_speedup;
         dm.add_row({std::to_string(qubits), std::to_string(replicas),
                     Table::fmt(1e3 * kraus_s, 3),
-                    Table::fmt(1e3 * superop_s, 3),
-                    Table::fmt(speedup, 2), Table::fmt(diff, 12)});
+                    Table::fmt(1e3 * scalar_s, 3),
+                    Table::fmt(1e3 * simd_s, 3),
+                    Table::fmt(simd_speedup, 2),
+                    Table::fmt(1e3 * f32_s, 3),
+                    Table::fmt(diff, 12)});
     }
     reporter.add(dm);
 
-    if (speedup_at_8 > 0.0)
-        std::printf("noisy CNR path speedup at 8 qubits: %.2fx "
-                    "(target >= 1.5x)\n",
-                    speedup_at_8);
+    if (simd_speedup_at_8 > 0.0)
+        std::printf("noisy CNR path SIMD speedup at 8 qubits: %.2fx "
+                    "(target >= 1.5x, f64 SIMD vs scalar)\n",
+                    simd_speedup_at_8);
     std::printf("fused-vs-unfused equivalence: %s\n",
                 ok ? "ok" : "FAILED");
     return ok ? 0 : 1;

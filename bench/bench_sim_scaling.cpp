@@ -24,6 +24,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,7 @@
 #include "harness.hpp"
 #include "parallel/thread_pool.hpp"
 #include "qml/synthetic.hpp"
+#include "sim/cpu_features.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/statevector.hpp"
 #include "stabilizer/tableau.hpp"
@@ -222,6 +224,38 @@ time_statevector(const circ::Circuit &c, int qubits, bool specialized,
     return seconds_since(start) / reps;
 }
 
+/** Seconds per run of `c` at amplitude precision T (active tier). */
+template <typename T>
+double
+time_statevector_t(const circ::Circuit &c, int qubits, int reps)
+{
+    sim::BasicStateVector<T> psi(qubits);
+    const std::vector<double> params = fixed_params(c);
+    psi.run(c, params); // warm-up
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r)
+        psi.run(c, params);
+    return seconds_since(start) / reps;
+}
+
+/** True when scalar and SIMD kernels produce bit-identical states. */
+bool
+tiers_bit_identical(const circ::Circuit &c, int qubits)
+{
+    const std::vector<double> params = fixed_params(c);
+    sim::set_forced_tier(sim::KernelTier::Baseline);
+    sim::StateVector scalar(qubits);
+    scalar.run(c, params);
+    sim::clear_forced_tier();
+    sim::StateVector simd(qubits);
+    simd.run(c, params);
+    for (std::size_t i = 0; i < scalar.dim(); ++i)
+        if (std::memcmp(&scalar.amps()[i], &simd.amps()[i],
+                        sizeof(scalar.amps()[i])) != 0)
+            return false;
+    return true;
+}
+
 /** Max |amp difference| between the two kernel paths for `c`. */
 double
 kernel_max_diff(const circ::Circuit &c, int qubits)
@@ -321,6 +355,40 @@ run_comparisons(int argc, char **argv)
     }
     reporter.add(kernels);
 
+    // Part 1b: runtime SIMD dispatch and the f32 proxy precision, on
+    // the same circuits. The scalar-vs-SIMD columns share one binary —
+    // the tier is forced at runtime — and the bit-identical column is
+    // the dispatch contract (ELV_FORCE_KERNEL=baseline reproduces the
+    // dispatched results exactly).
+    bool tiers_ok = true;
+    Table simd("SIMD dispatch: scalar vs " +
+               std::string(sim::kernel_tier_name(sim::active_tier())) +
+               ", f64 vs f32 (single-threaded)");
+    simd.set_header({"circuit", "qubits", "scalar f64 (ms)",
+                     "simd f64 (ms)", "simd speedup", "simd f32 (ms)",
+                     "f32 gain", "bit-identical"});
+    for (const KernelCase &kc : cases) {
+        const int reps = kc.qubits >= 16 ? 10 : 40;
+        sim::set_forced_tier(sim::KernelTier::Baseline);
+        const double scalar_s =
+            time_statevector_t<double>(kc.circuit, kc.qubits, reps);
+        sim::clear_forced_tier();
+        const double simd_s =
+            time_statevector_t<double>(kc.circuit, kc.qubits, reps);
+        const double f32_s =
+            time_statevector_t<float>(kc.circuit, kc.qubits, reps);
+        const bool identical = tiers_bit_identical(kc.circuit, kc.qubits);
+        tiers_ok = tiers_ok && identical;
+        simd.add_row({kc.name, std::to_string(kc.qubits),
+                      Table::fmt(1e3 * scalar_s, 3),
+                      Table::fmt(1e3 * simd_s, 3),
+                      Table::fmt(scalar_s / std::max(1e-12, simd_s), 2),
+                      Table::fmt(1e3 * f32_s, 3),
+                      Table::fmt(simd_s / std::max(1e-12, f32_s), 2),
+                      identical ? "yes" : "NO"});
+    }
+    reporter.add(simd);
+
     // Part 2: serial vs parallel search, with the bit-identity check
     // the determinism contract promises.
     const int threads = reporter.threads()
@@ -350,7 +418,7 @@ run_comparisons(int argc, char **argv)
                     Table::fmt(serial_s / parallel_s, 2),
                     identical_rankings(serial, parallel) ? "yes" : "NO"});
     reporter.add(search);
-    return identical_rankings(serial, parallel) ? 0 : 1;
+    return (identical_rankings(serial, parallel) && tiers_ok) ? 0 : 1;
 }
 
 } // namespace

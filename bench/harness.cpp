@@ -19,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "qml/trainer.hpp"
+#include "sim/cpu_features.hpp"
 
 namespace elv::bench {
 
@@ -131,7 +132,13 @@ Reporter::~Reporter()
         << ", \"seed\": " << seed_
         << ", \"version\": " << Table::json_escape(elv::version_string())
         << ", \"timestamp\": "
-        << Table::json_escape(elv::iso8601_utc_now());
+        << Table::json_escape(elv::iso8601_utc_now())
+        // Which SIMD tier the simulator kernels dispatched to: perf
+        // numbers from different tiers are not comparable, so archived
+        // trajectories must record it.
+        << ", \"kernel_dispatch\": "
+        << Table::json_escape(
+               elv::sim::kernel_tier_name(elv::sim::active_tier()));
     if (metrics_) {
         const auto snap = elv::obs::Registry::global().snapshot();
         out << ", \"metrics\": {";

@@ -58,6 +58,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "qml/synthetic.hpp"
+#include "sim/precision.hpp"
 #include "qml/trainer.hpp"
 #include "server/json_value.hpp"
 #include "server/protocol.hpp"
@@ -83,6 +84,8 @@ struct CliOptions
     bool metrics = false;
     /** Wall-clock budget for the search phase; 0 disables. */
     double deadline_sec = 0.0;
+    /** Amplitude precision of the CNR/RepCap proxies ("f64"/"f32"). */
+    std::string precision = "f64";
 };
 
 void
@@ -104,6 +107,9 @@ print_usage()
         "  --deadline-sec F   cancel the search after F seconds of "
         "wall clock\n"
         "                     (exit 3; journaled stages survive)\n"
+        "  --precision P      proxy-scoring precision: f64 (default) "
+        "or f32\n"
+        "                     (CNR/RepCap only; training stays f64)\n"
         "  --fault-rate F     inject transient backend faults with "
         "probability F\n"
         "  --trace FILE       write a Chrome trace of the search "
@@ -150,6 +156,8 @@ parse(int argc, char **argv, CliOptions &options)
             options.checkpoint = value();
         else if (arg == "--deadline-sec")
             options.deadline_sec = std::atof(value());
+        else if (arg == "--precision")
+            options.precision = value();
         else if (arg == "--fault-rate")
             options.fault_rate = std::atof(value());
         else if (arg == "--trace")
@@ -415,7 +423,7 @@ print_client_usage()
         "  --id job-N         job id (status/cancel/result/watch)\n"
         "submit options (mirror the one-shot search flags):\n"
         "  --benchmark NAME --device NAME --candidates N --seed N\n"
-        "  --scale F --priority N --deadline-sec F\n"
+        "  --scale F --priority N --deadline-sec F --precision f64|f32\n"
         "  --watch            stream status until the job finishes\n"
         "`status` without --id lists every job the server knows.\n");
 }
@@ -499,6 +507,8 @@ run_client(int argc, char **argv)
             options.spec.priority = std::atoi(value());
         else if (arg == "--deadline-sec")
             options.spec.deadline_sec = std::atof(value());
+        else if (arg == "--precision")
+            options.spec.precision = value();
         else if (arg == "--watch")
             options.watch_after = true;
         else if (arg == "--help" || arg == "-h") {
@@ -634,6 +644,14 @@ main(int argc, char **argv)
         config.seed = options.seed;
         config.threads = options.threads < 0 ? 0 : options.threads;
         config.resilience.checkpoint_path = options.checkpoint;
+        {
+            const auto precision =
+                sim::precision_from_name(options.precision);
+            if (!precision)
+                elv::fatal("--precision must be f64 or f32");
+            config.cnr.precision = *precision;
+            config.repcap.precision = *precision;
+        }
         if (options.deadline_sec > 0.0) {
             // Same cooperative-cancellation machinery the server uses
             // for per-job deadlines; the hooks are not fingerprinted,

@@ -20,6 +20,7 @@
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
 #include "qml/dataset.hpp"
+#include "sim/precision.hpp"
 
 namespace elv::core {
 
@@ -32,6 +33,12 @@ struct RepCapOptions
     int param_inits = 32;
     /** Random measurement bases per state pair (n_bases in Eq. 6). */
     int num_bases = 4;
+    /**
+     * Amplitude precision of the state-vector runs. Float32Proxy is
+     * the ranking-only fast path (see sim/precision.hpp); similarity
+     * accumulation always stays double.
+     */
+    sim::Precision precision = sim::Precision::Float64;
 };
 
 /** RepCap value plus cost accounting. */

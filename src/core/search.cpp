@@ -125,9 +125,11 @@ config_fingerprint(const ElivagarConfig &config)
     fp_mix(h, static_cast<std::uint64_t>(config.cnr.backend));
     fp_mix(h, static_cast<std::uint64_t>(config.cnr.shots));
     fp_mix_double(h, config.cnr.noise_scale);
+    fp_mix(h, static_cast<std::uint64_t>(config.cnr.precision));
     fp_mix(h, static_cast<std::uint64_t>(config.repcap.samples_per_class));
     fp_mix(h, static_cast<std::uint64_t>(config.repcap.param_inits));
     fp_mix(h, static_cast<std::uint64_t>(config.repcap.num_bases));
+    fp_mix(h, static_cast<std::uint64_t>(config.repcap.precision));
     fp_mix_double(h, config.cnr_threshold);
     fp_mix_double(h, config.keep_fraction);
     fp_mix_double(h, config.alpha_cnr);
@@ -215,7 +217,7 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
             device, cnr_backend_kind(config.cnr.backend),
             config.cnr.shots, config.cnr.noise_scale,
             config.resilience.retry, faults,
-            stage_seed(config.seed, 0xe8ec, n));
+            stage_seed(config.seed, 0xe8ec, n), config.cnr.precision);
     };
     // Replays a journaled entry for candidate n, if present. The
     // returned pointer is stable (map node) and its fields are only

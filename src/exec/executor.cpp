@@ -49,8 +49,9 @@ Executor::supports(const circ::Circuit &) const
 }
 
 DensityExecutor::DensityExecutor(const dev::Device &device,
-                                 double noise_scale)
-    : sim_(device, noise_scale)
+                                 double noise_scale,
+                                 sim::Precision precision)
+    : sim_(device, noise_scale, precision)
 {
 }
 

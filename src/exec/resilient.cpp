@@ -35,11 +35,12 @@ rung_seed(std::uint64_t base, int rung)
 
 std::unique_ptr<Executor>
 make_backend(const dev::Device &device, BackendKind kind, int shots,
-             double noise_scale)
+             double noise_scale, sim::Precision precision)
 {
     switch (kind) {
       case BackendKind::Density:
-        return std::make_unique<DensityExecutor>(device, noise_scale);
+        return std::make_unique<DensityExecutor>(device, noise_scale,
+                                                 precision);
       case BackendKind::Stabilizer:
         return std::make_unique<StabilizerExecutor>(device, shots,
                                                     noise_scale);
@@ -56,7 +57,8 @@ ResilientExecutor::ResilientExecutor(const dev::Device &device,
                                      double noise_scale,
                                      const RetryPolicy &policy,
                                      const FaultConfig &faults,
-                                     std::uint64_t seed)
+                                     std::uint64_t seed,
+                                     sim::Precision precision)
     : device_(device), policy_(policy),
       jitter_rng_(seed ^ 0x7265747279ULL)
 {
@@ -77,7 +79,8 @@ ResilientExecutor::ResilientExecutor(const dev::Device &device,
     }
 
     for (std::size_t r = 0; r < kinds.size(); ++r) {
-        auto backend = make_backend(device_, kinds[r], shots, noise_scale);
+        auto backend = make_backend(device_, kinds[r], shots, noise_scale,
+                                    precision);
         if (faults.any() && faults.applies_to(kinds[r])) {
             FaultConfig rung_faults = faults;
             rung_faults.seed =

@@ -26,6 +26,7 @@ boundary_name(Boundary boundary)
       case Boundary::CandidateGen: return "candidate-gen";
       case Boundary::CompilerOutput: return "compiler-output";
       case Boundary::Executor: return "executor";
+      case Boundary::Training: return "training";
     }
     return "unknown";
 }

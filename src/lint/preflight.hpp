@@ -30,6 +30,7 @@ enum class Boundary {
     CandidateGen,   ///< generator output entering the search
     CompilerOutput, ///< compile_for_device result
     Executor,       ///< circuit entering an execution backend
+    Training,       ///< circuit entering the gradient trainer
 };
 
 /** Printable boundary name ("candidate-gen", ...). */

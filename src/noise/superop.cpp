@@ -7,6 +7,7 @@
 #include "common/logging.hpp"
 #include "noise/channels.hpp"
 #include "obs/metrics.hpp"
+#include "sim/kernel_obs.hpp"
 
 namespace elv::noise {
 
@@ -286,13 +287,17 @@ NoisyProgram::compile(const circ::Circuit &local,
     return prog;
 }
 
+template <typename T>
 void
-NoisyProgram::run(sim::DensityMatrix &rho,
+NoisyProgram::run(sim::BasicDensityMatrix<T> &rho,
                   const std::vector<double> &params,
                   const std::vector<double> &x) const
 {
     ELV_REQUIRE(rho.num_qubits() == num_qubits_,
                 "program/state qubit count mismatch");
+    sim::note_kernel_dispatch();
+    if constexpr (std::is_same_v<T, float>)
+        ELV_METRIC_COUNT("sim.f32_evals");
     rho.reset();
     for (const Entry &e : entries_) {
         switch (e.kind) {
@@ -308,5 +313,12 @@ NoisyProgram::run(sim::DensityMatrix &rho,
         }
     }
 }
+
+template void NoisyProgram::run(sim::BasicDensityMatrix<double> &,
+                                const std::vector<double> &,
+                                const std::vector<double> &) const;
+template void NoisyProgram::run(sim::BasicDensityMatrix<float> &,
+                                const std::vector<double> &,
+                                const std::vector<double> &) const;
 
 } // namespace elv::noise

@@ -7,6 +7,7 @@
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/validate.hpp"
+#include "lint/preflight.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "qml/optimizer.hpp"
@@ -70,6 +71,17 @@ train_circuit(const circ::Circuit &circuit, const Dataset &data,
     ELV_REQUIRE((std::size_t{1} << circuit.measured().size()) >=
                     static_cast<std::size_t>(data.num_classes),
                 "not enough measured qubits for the class count");
+
+    // Training-boundary pre-flight: beyond the structural rules, this
+    // is where the precision-misuse warning fires — gradients always
+    // run f64, so a Float32Proxy request here is a configuration smell,
+    // not a speedup (see sim/precision.hpp).
+    {
+        lint::LintOptions lint_options;
+        lint_options.training_path = true;
+        lint_options.precision = config.precision;
+        lint::preflight(circuit, lint::Boundary::Training, lint_options);
+    }
 
     // Work on the compacted circuit (Elivagar circuits live on large
     // devices); parameters are unaffected by compaction.

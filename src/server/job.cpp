@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "obs/json.hpp"
+#include "sim/precision.hpp"
 
 namespace elv::srv {
 
@@ -50,6 +51,8 @@ JobSpec::check() const
         elv::fatal("job scale must lie in (0, 1]");
     if (deadline_sec < 0.0)
         elv::fatal("job deadline must be non-negative");
+    if (!sim::precision_from_name(precision))
+        elv::fatal("job precision must be \"f64\" or \"f32\"");
 }
 
 std::string
@@ -64,6 +67,7 @@ JobSpec::to_json() const
     json.kv("scale", scale);
     json.kv("priority", priority);
     json.kv("deadline_sec", deadline_sec);
+    json.kv("precision", precision);
     json.end_object();
     return json.str();
 }
@@ -91,6 +95,8 @@ JobSpec::from_json(const JsonValue &value, JobSpec &out,
         out.priority = static_cast<int>(v->as_int(out.priority));
     if (const JsonValue *v = value.get("deadline_sec"))
         out.deadline_sec = v->as_number(out.deadline_sec);
+    if (const JsonValue *v = value.get("precision"))
+        out.precision = v->as_string(out.precision);
     try {
         out.check();
     } catch (const elv::UsageError &e) {
@@ -117,6 +123,13 @@ job_search_config(const JobSpec &spec, const qml::BenchmarkSpec &bench,
     config.candidate.num_features = bench.dim;
     config.seed = spec.seed;
     config.threads = threads;
+    // check() guarantees the name parses; both proxies follow the job's
+    // precision while training (if any) stays double (see trainer.hpp).
+    const sim::Precision precision =
+        sim::precision_from_name(spec.precision)
+            .value_or(sim::Precision::Float64);
+    config.cnr.precision = precision;
+    config.repcap.precision = precision;
     config.resilience.checkpoint_path = journal_path;
     // Server jobs retry with bounded full jitter: many tenants share
     // the backends, and synchronized backoff from concurrent jobs is

@@ -73,6 +73,13 @@ struct JobSpec
      * cancellation checkpoints inside the search phases.
      */
     double deadline_sec = 0.0;
+    /**
+     * Amplitude precision of the CNR/RepCap proxy evaluations: "f64"
+     * (default) or "f32" (mixed-precision fast path; see
+     * sim/precision.hpp). Part of the config fingerprint — a journal
+     * written under one precision does not resume under the other.
+     */
+    std::string precision = "f64";
 
     /** Reject out-of-range fields with fatal(). Catalog names are
      * checked separately at admission (they need the catalogs). */

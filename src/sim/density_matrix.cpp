@@ -9,28 +9,32 @@
 
 namespace elv::sim {
 
-DensityMatrix::DensityMatrix(int num_qubits)
+template <typename T>
+BasicDensityMatrix<T>::BasicDensityMatrix(int num_qubits)
     : num_qubits_(num_qubits), vec_(2 * num_qubits)
 {
     ELV_REQUIRE(num_qubits >= 1 && num_qubits <= 13,
                 "density matrix limited to 1..13 qubits");
 }
 
+template <typename T>
 void
-DensityMatrix::reset()
+BasicDensityMatrix<T>::reset()
 {
     vec_.reset();
 }
 
-Amp
-DensityMatrix::element(std::size_t row, std::size_t col) const
+template <typename T>
+typename BasicDensityMatrix<T>::AmpT
+BasicDensityMatrix<T>::element(std::size_t row, std::size_t col) const
 {
     const std::size_t n = static_cast<std::size_t>(num_qubits_);
     return vec_.amp(row | (col << n));
 }
 
+template <typename T>
 void
-DensityMatrix::set_pure(const StateVector &psi)
+BasicDensityMatrix<T>::set_pure(const BasicStateVector<T> &psi)
 {
     ELV_REQUIRE(psi.num_qubits() == num_qubits_,
                 "pure-state qubit count mismatch");
@@ -42,22 +46,25 @@ DensityMatrix::set_pure(const StateVector &psi)
                 psi.amp(r) * std::conj(psi.amp(c));
 }
 
+template <typename T>
 void
-DensityMatrix::apply_1q(const Mat2 &u, int q)
+BasicDensityMatrix<T>::apply_1q(const Mat2 &u, int q)
 {
     vec_.apply_1q(u, q);
     vec_.apply_1q(conjugate(u), q + num_qubits_);
 }
 
+template <typename T>
 void
-DensityMatrix::apply_2q(const Mat4 &u, int q0, int q1)
+BasicDensityMatrix<T>::apply_2q(const Mat4 &u, int q0, int q1)
 {
     vec_.apply_2q(u, q0, q1);
     vec_.apply_2q(conjugate(u), q0 + num_qubits_, q1 + num_qubits_);
 }
 
+template <typename T>
 void
-DensityMatrix::apply_kraus_1q(const std::vector<Mat2> &kraus, int q)
+BasicDensityMatrix<T>::apply_kraus_1q(const std::vector<Mat2> &kraus, int q)
 {
     ELV_REQUIRE(!kraus.empty(), "empty Kraus set");
     // Member scratch, sized on first use: copying into it and the
@@ -65,7 +72,7 @@ DensityMatrix::apply_kraus_1q(const std::vector<Mat2> &kraus, int q)
     // applications allocate nothing.
     auto &state = vec_.amps();
     kraus_original_ = state;
-    kraus_acc_.assign(state.size(), Amp(0));
+    kraus_acc_.assign(state.size(), AmpT(0));
     for (const Mat2 &k : kraus) {
         std::copy(kraus_original_.begin(), kraus_original_.end(),
                   state.begin());
@@ -76,13 +83,15 @@ DensityMatrix::apply_kraus_1q(const std::vector<Mat2> &kraus, int q)
     std::swap(state, kraus_acc_);
 }
 
+template <typename T>
 void
-DensityMatrix::apply_kraus_2q(const std::vector<Mat4> &kraus, int q0, int q1)
+BasicDensityMatrix<T>::apply_kraus_2q(const std::vector<Mat4> &kraus,
+                                      int q0, int q1)
 {
     ELV_REQUIRE(!kraus.empty(), "empty Kraus set");
     auto &state = vec_.amps();
     kraus_original_ = state;
-    kraus_acc_.assign(state.size(), Amp(0));
+    kraus_acc_.assign(state.size(), AmpT(0));
     for (const Mat4 &k : kraus) {
         std::copy(kraus_original_.begin(), kraus_original_.end(),
                   state.begin());
@@ -93,16 +102,18 @@ DensityMatrix::apply_kraus_2q(const std::vector<Mat4> &kraus, int q0, int q1)
     std::swap(state, kraus_acc_);
 }
 
+template <typename T>
 void
-DensityMatrix::apply_superop_1q(const Mat4 &s, int q)
+BasicDensityMatrix<T>::apply_superop_1q(const Mat4 &s, int q)
 {
     ELV_REQUIRE(q >= 0 && q < num_qubits_, "qubit out of range");
     ELV_METRIC_COUNT("sim.superop_applies");
     vec_.apply_2q(s, q, q + num_qubits_);
 }
 
+template <typename T>
 void
-DensityMatrix::apply_superop_2q(const Mat16 &s, int q0, int q1)
+BasicDensityMatrix<T>::apply_superop_2q(const Mat16 &s, int q0, int q1)
 {
     ELV_REQUIRE(q0 >= 0 && q0 < num_qubits_ && q1 >= 0 &&
                     q1 < num_qubits_ && q0 != q1,
@@ -111,11 +122,14 @@ DensityMatrix::apply_superop_2q(const Mat16 &s, int q0, int q1)
     vec_.apply_4q(s, q0, q1, q0 + num_qubits_, q1 + num_qubits_);
 }
 
+template <typename T>
 void
-DensityMatrix::apply_depolarizing_1q(double p, int q)
+BasicDensityMatrix<T>::apply_depolarizing_1q(double p, int q)
 {
     ELV_REQUIRE(p >= 0.0 && p <= 1.0, "bad depolarizing probability");
-    const double lambda = 4.0 * p / 3.0;
+    const T lambda = static_cast<T>(4.0 * p / 3.0);
+    const T keep = static_cast<T>(1) - lambda;
+    const T half = static_cast<T>(0.5);
     const std::size_t dim = std::size_t{1} << num_qubits_;
     const std::size_t m = std::size_t{1} << q;
     auto &data = vec_.amps();
@@ -124,25 +138,27 @@ DensityMatrix::apply_depolarizing_1q(double p, int q)
             const bool br = r & m, bc = c & m;
             const std::size_t idx = r | (c << num_qubits_);
             if (br != bc) {
-                data[idx] *= 1.0 - lambda;
+                data[idx] *= keep;
             } else if (!br) {
                 // Handle the (0,0)/(1,1) pair once, at the 0 slot.
                 const std::size_t idx1 = (r | m) | ((c | m) <<
                                                     num_qubits_);
-                const Amp mix = 0.5 * (data[idx] + data[idx1]);
-                data[idx] = (1.0 - lambda) * data[idx] + lambda * mix;
-                data[idx1] = (1.0 - lambda) * data[idx1] + lambda * mix;
+                const AmpT mix = half * (data[idx] + data[idx1]);
+                data[idx] = keep * data[idx] + lambda * mix;
+                data[idx1] = keep * data[idx1] + lambda * mix;
             }
         }
     }
 }
 
+template <typename T>
 void
-DensityMatrix::apply_depolarizing_2q(double p, int q0, int q1)
+BasicDensityMatrix<T>::apply_depolarizing_2q(double p, int q0, int q1)
 {
     ELV_REQUIRE(p >= 0.0 && p <= 1.0, "bad depolarizing probability");
     ELV_REQUIRE(q0 != q1, "depolarizing on equal qubits");
-    const double lambda = 16.0 * p / 15.0;
+    const T lambda = static_cast<T>(16.0 * p / 15.0);
+    const T keep = static_cast<T>(1) - lambda;
     const std::size_t dim = std::size_t{1} << num_qubits_;
     const std::size_t m0 = std::size_t{1} << q0;
     const std::size_t m1 = std::size_t{1} << q1;
@@ -153,11 +169,11 @@ DensityMatrix::apply_depolarizing_2q(double p, int q0, int q1)
             const bool same = ((r ^ c) & both) == 0;
             const std::size_t idx = r | (c << num_qubits_);
             if (!same) {
-                data[idx] *= 1.0 - lambda;
+                data[idx] *= keep;
             } else if ((r & both) == 0) {
                 // Average the four matched diagonal-in-subspace slots.
                 const std::size_t rows[4] = {r, r | m1, r | m0, r | both};
-                Amp mix(0);
+                AmpT mix(0);
                 std::size_t idxs[4];
                 for (int k = 0; k < 4; ++k) {
                     const std::size_t cc =
@@ -165,22 +181,26 @@ DensityMatrix::apply_depolarizing_2q(double p, int q0, int q1)
                     idxs[k] = rows[k] | (cc << num_qubits_);
                     mix += data[idxs[k]];
                 }
-                mix *= 0.25;
+                mix *= static_cast<T>(0.25);
                 for (auto i : idxs)
-                    data[i] = (1.0 - lambda) * data[i] + lambda * mix;
+                    data[i] = keep * data[i] + lambda * mix;
             }
         }
     }
 }
 
+template <typename T>
 void
-DensityMatrix::apply_thermal_relaxation(double gamma, double lambda, int q)
+BasicDensityMatrix<T>::apply_thermal_relaxation(double gamma,
+                                                double lambda, int q)
 {
     ELV_REQUIRE(gamma >= 0.0 && gamma <= 1.0 && lambda >= 0.0 &&
                     lambda <= 1.0,
                 "bad relaxation parameters");
-    const double keep = 1.0 - gamma;
-    const double coherence = std::sqrt((1.0 - gamma) * (1.0 - lambda));
+    const T keep = static_cast<T>(1.0 - gamma);
+    const T gain = static_cast<T>(gamma);
+    const T coherence =
+        static_cast<T>(std::sqrt((1.0 - gamma) * (1.0 - lambda)));
     const std::size_t dim = std::size_t{1} << num_qubits_;
     const std::size_t m = std::size_t{1} << q;
     auto &data = vec_.amps();
@@ -195,20 +215,21 @@ DensityMatrix::apply_thermal_relaxation(double gamma, double lambda, int q)
                     (r | m) | ((c | m) << num_qubits_);
                 // (0,0) gains the decayed (1,1) population; then (1,1)
                 // shrinks. Ordering matters: read old (1,1) first.
-                data[idx] += gamma * data[idx1];
+                data[idx] += gain * data[idx1];
                 data[idx1] *= keep;
             }
         }
     }
 }
 
+template <typename T>
 void
-DensityMatrix::apply_op(const circ::Op &op,
-                        const std::vector<double> &params,
-                        const std::vector<double> &x)
+BasicDensityMatrix<T>::apply_op(const circ::Op &op,
+                                const std::vector<double> &params,
+                                const std::vector<double> &x)
 {
     if (op.kind == circ::GateKind::AmpEmbed) {
-        StateVector psi(num_qubits_);
+        BasicStateVector<T> psi(num_qubits_);
         psi.set_amplitude_embedding(x);
         set_pure(psi);
         return;
@@ -248,10 +269,11 @@ DensityMatrix::apply_op(const circ::Op &op,
                  op.qubits[1]);
 }
 
+template <typename T>
 void
-DensityMatrix::run(const circ::Circuit &circuit,
-                   const std::vector<double> &params,
-                   const std::vector<double> &x)
+BasicDensityMatrix<T>::run(const circ::Circuit &circuit,
+                           const std::vector<double> &params,
+                           const std::vector<double> &x)
 {
     ELV_REQUIRE(circuit.num_qubits() == num_qubits_,
                 "circuit/state qubit count mismatch");
@@ -262,34 +284,40 @@ DensityMatrix::run(const circ::Circuit &circuit,
         apply_op(op, params, x);
 }
 
+template <typename T>
 double
-DensityMatrix::trace() const
+BasicDensityMatrix<T>::trace() const
 {
     double t = 0.0;
     const std::size_t dim = std::size_t{1} << num_qubits_;
     for (std::size_t i = 0; i < dim; ++i)
-        t += element(i, i).real();
+        t += static_cast<double>(element(i, i).real());
     return t;
 }
 
+template <typename T>
 double
-DensityMatrix::purity() const
+BasicDensityMatrix<T>::purity() const
 {
     // Tr(rho^2) = sum_{r,c} |rho(r,c)|^2 for Hermitian rho.
     double p = 0.0;
-    for (const Amp &a : vec_.amps())
-        p += std::norm(a);
+    for (const AmpT &a : vec_.amps()) {
+        const double re = a.real();
+        const double im = a.imag();
+        p += re * re + im * im;
+    }
     return p;
 }
 
+template <typename T>
 std::vector<double>
-DensityMatrix::probabilities(const std::vector<int> &qubits) const
+BasicDensityMatrix<T>::probabilities(const std::vector<int> &qubits) const
 {
     ELV_REQUIRE(qubits.size() <= 20, "too many measured qubits");
     std::vector<double> probs(std::size_t{1} << qubits.size(), 0.0);
     const std::size_t dim = std::size_t{1} << num_qubits_;
     for (std::size_t i = 0; i < dim; ++i) {
-        const double p = element(i, i).real();
+        const double p = static_cast<double>(element(i, i).real());
         std::size_t outcome = 0;
         for (std::size_t b = 0; b < qubits.size(); ++b)
             if (i & (std::size_t{1} << qubits[b]))
@@ -298,5 +326,8 @@ DensityMatrix::probabilities(const std::vector<int> &qubits) const
     }
     return probs;
 }
+
+template class BasicDensityMatrix<double>;
+template class BasicDensityMatrix<float>;
 
 } // namespace elv::sim

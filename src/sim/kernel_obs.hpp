@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Dispatch-tier observability for the vector kernels.
+ *
+ * `sim.kernel_dispatch.*` counts, per simulator run (state-vector,
+ * fused, and noisy density-matrix runs), which kernel tier dispatch
+ * selected — the --metrics answer to "did this host actually run the
+ * AVX2/AVX-512 kernels?". Counted per run rather than per kernel call
+ * to keep the hot loops free of extra atomic-flag loads.
+ */
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "sim/cpu_features.hpp"
+
+namespace elv::sim {
+
+inline void
+note_kernel_dispatch()
+{
+    switch (active_tier()) {
+      case KernelTier::Baseline:
+        ELV_METRIC_COUNT("sim.kernel_dispatch.baseline");
+        break;
+      case KernelTier::AVX2:
+        ELV_METRIC_COUNT("sim.kernel_dispatch.avx2");
+        break;
+      case KernelTier::AVX512:
+        ELV_METRIC_COUNT("sim.kernel_dispatch.avx512");
+        break;
+    }
+}
+
+} // namespace elv::sim

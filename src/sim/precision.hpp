@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simulator precision policy.
+ *
+ * The search pipeline uses floating point in two very different roles:
+ *
+ *  - *Proxy scoring* (CNR, RepCap): the output is a ranking of
+ *    candidates, consumed through comparisons with gaps around 1e-2.
+ *    `complex<float>` keeps ~7 significant digits — orders of magnitude
+ *    more than the ranking needs — and halves the memory traffic of
+ *    every kernel pass.
+ *  - *Training and gradients*: Adam accumulates thousands of small
+ *    updates and parameter-shift differences cancel to ~1e-8; single
+ *    precision silently corrupts convergence. These paths always run in
+ *    `complex<double>` regardless of any configured policy, and elvlint
+ *    warns ("precision-misuse") when a training path is configured with
+ *    Float32Proxy.
+ *
+ * The policy is negotiated per call-site: CnrOptions / RepCapOptions /
+ * the DensityExecutor carry a Precision, and the simulators instantiate
+ * their kernels for `complex<float>` when Float32Proxy is requested.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace elv::sim {
+
+/** Which amplitude type the simulation kernels run in. */
+enum class Precision {
+    /** Full `complex<double>` (default; always safe). */
+    Float64,
+    /**
+     * `complex<float>` for ranking-only proxy evaluation. Scores keep
+     * their ordering (asserted by the ranking-equivalence tests) but
+     * individual values differ from Float64 at the ~1e-6 level.
+     */
+    Float32Proxy,
+};
+
+/** Wire/CLI name of a precision ("f64" / "f32"). */
+inline const char *
+precision_name(Precision precision)
+{
+    return precision == Precision::Float32Proxy ? "f32" : "f64";
+}
+
+/** Inverse of precision_name; nullopt for unknown names. */
+inline std::optional<Precision>
+precision_from_name(const std::string &name)
+{
+    if (name == "f64" || name == "float64" || name == "double")
+        return Precision::Float64;
+    if (name == "f32" || name == "float32" || name == "float")
+        return Precision::Float32Proxy;
+    return std::nullopt;
+}
+
+} // namespace elv::sim

@@ -5,85 +5,82 @@
 #include "common/logging.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/kernel_obs.hpp"
+#include "sim/vec_complex.hpp"
 
 namespace elv::sim {
 
 namespace {
 
-/** Insert a zero bit at the position of `mask`: bits >= mask shift up. */
-inline std::size_t
-insert_zero_bit(std::size_t v, std::size_t mask)
+using vec::insert_zero_bit;
+
+/** Flatten a double matrix row-major into the amplitude type. The
+ *  double instantiation aliases the matrix storage directly (Mat rows
+ *  are contiguous); the float one converts into `buf`. */
+template <typename T, std::size_t N, typename Mat>
+inline const std::complex<T> *
+flat_matrix(const Mat &u, std::complex<T> *buf)
 {
-    return ((v & ~(mask - 1)) << 1) | (v & (mask - 1));
+    if constexpr (std::is_same_v<T, double>) {
+        (void)buf;
+        return u[0].data();
+    } else {
+        for (std::size_t r = 0; r < N; ++r)
+            for (std::size_t c = 0; c < N; ++c)
+                buf[N * r + c] = std::complex<T>(u[r][c]);
+        return buf;
+    }
 }
 
 } // namespace
 
-StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits)
+template <typename T>
+BasicStateVector<T>::BasicStateVector(int num_qubits)
+    : num_qubits_(num_qubits)
 {
     ELV_REQUIRE(num_qubits >= 1 && num_qubits <= 26,
                 "state vector limited to 1..26 qubits");
-    amps_.assign(std::size_t{1} << num_qubits, Amp(0));
-    amps_[0] = Amp(1);
+    amps_.assign(std::size_t{1} << num_qubits, AmpT(0));
+    amps_[0] = AmpT(1);
 }
 
+template <typename T>
 void
-StateVector::reset()
+BasicStateVector<T>::reset()
 {
-    std::fill(amps_.begin(), amps_.end(), Amp(0));
-    amps_[0] = Amp(1);
+    std::fill(amps_.begin(), amps_.end(), AmpT(0));
+    amps_[0] = AmpT(1);
 }
 
+template <typename T>
 void
-StateVector::apply_1q(const Mat2 &u, int q)
+BasicStateVector<T>::apply_1q(const Mat2 &u, int q)
 {
     ELV_REQUIRE(q >= 0 && q < num_qubits_, "qubit out of range");
     const std::size_t stride = std::size_t{1} << q;
-    const std::size_t dim = amps_.size();
-    for (std::size_t base = 0; base < dim; base += 2 * stride) {
-        for (std::size_t off = 0; off < stride; ++off) {
-            const std::size_t i0 = base + off;
-            const std::size_t i1 = i0 + stride;
-            const Amp a0 = amps_[i0];
-            const Amp a1 = amps_[i1];
-            amps_[i0] = u[0][0] * a0 + u[0][1] * a1;
-            amps_[i1] = u[1][0] * a0 + u[1][1] * a1;
-        }
-    }
+    AmpT buf[4];
+    vec::apply_1q(amps_.data(), amps_.size(), stride,
+                  flat_matrix<T, 2>(u, buf));
 }
 
+template <typename T>
 void
-StateVector::apply_2q(const Mat4 &u, int q0, int q1)
+BasicStateVector<T>::apply_2q(const Mat4 &u, int q0, int q1)
 {
     ELV_REQUIRE(q0 >= 0 && q0 < num_qubits_ && q1 >= 0 &&
                     q1 < num_qubits_ && q0 != q1,
                 "bad 2-qubit operands");
     const std::size_t m0 = std::size_t{1} << q0;
     const std::size_t m1 = std::size_t{1} << q1;
-    const std::size_t lo = m0 < m1 ? m0 : m1;
-    const std::size_t hi = m0 < m1 ? m1 : m0;
-    // Gather the dim/4 index groups directly instead of scanning all
-    // dim indices and skipping the 3/4 with a q0/q1 bit set.
-    const std::size_t groups = amps_.size() >> 2;
-    for (std::size_t g = 0; g < groups; ++g) {
-        const std::size_t i =
-            insert_zero_bit(insert_zero_bit(g, lo), hi);
-        // Local basis |q0 q1>: index = 2 * bit(q0) + bit(q1).
-        const std::size_t idx[4] = {i, i | m1, i | m0, i | m0 | m1};
-        Amp in[4];
-        for (std::size_t k = 0; k < 4; ++k)
-            in[k] = amps_[idx[k]];
-        for (std::size_t r = 0; r < 4; ++r) {
-            Amp acc(0);
-            for (std::size_t c = 0; c < 4; ++c)
-                acc += u[r][c] * in[c];
-            amps_[idx[r]] = acc;
-        }
-    }
+    AmpT buf[16];
+    vec::apply_2q(amps_.data(), amps_.size(), m0, m1,
+                  flat_matrix<T, 4>(u, buf));
 }
 
+template <typename T>
 void
-StateVector::apply_4q(const Mat16 &u, int q0, int q1, int q2, int q3)
+BasicStateVector<T>::apply_4q(const Mat16 &u, int q0, int q1, int q2,
+                              int q3)
 {
     const int qs[4] = {q0, q1, q2, q3};
     for (int a = 0; a < 4; ++a) {
@@ -96,36 +93,14 @@ StateVector::apply_4q(const Mat16 &u, int q0, int q1, int q2, int q3)
     const std::size_t m1 = std::size_t{1} << q1;
     const std::size_t m2 = std::size_t{1} << q2;
     const std::size_t m3 = std::size_t{1} << q3;
-    // Gather needs the insertion masks in ascending order; the local
-    // basis order stays |q0 q1 q2 q3> via the offset table below.
-    std::size_t sorted[4] = {m0, m1, m2, m3};
-    for (int a = 0; a < 4; ++a)
-        for (int b = a + 1; b < 4; ++b)
-            if (sorted[b] < sorted[a])
-                std::swap(sorted[a], sorted[b]);
-    std::size_t offset[16];
-    for (int k = 0; k < 16; ++k)
-        offset[k] = ((k & 8) ? m0 : 0) | ((k & 4) ? m1 : 0) |
-                    ((k & 2) ? m2 : 0) | ((k & 1) ? m3 : 0);
-    const std::size_t groups = amps_.size() >> 4;
-    for (std::size_t g = 0; g < groups; ++g) {
-        std::size_t i = g;
-        for (int a = 0; a < 4; ++a)
-            i = insert_zero_bit(i, sorted[a]);
-        Amp in[16];
-        for (std::size_t k = 0; k < 16; ++k)
-            in[k] = amps_[i | offset[k]];
-        for (std::size_t r = 0; r < 16; ++r) {
-            Amp acc(0);
-            for (std::size_t c = 0; c < 16; ++c)
-                acc += u[r][c] * in[c];
-            amps_[i | offset[r]] = acc;
-        }
-    }
+    AmpT buf[256];
+    vec::apply_4q(amps_.data(), amps_.size(), m0, m1, m2, m3,
+                  flat_matrix<T, 16>(u, buf));
 }
 
+template <typename T>
 void
-StateVector::apply_cx(int control, int target)
+BasicStateVector<T>::apply_cx(int control, int target)
 {
     ELV_REQUIRE(control >= 0 && control < num_qubits_ && target >= 0 &&
                     target < num_qubits_ && control != target,
@@ -142,8 +117,9 @@ StateVector::apply_cx(int control, int target)
     }
 }
 
+template <typename T>
 void
-StateVector::apply_cz(int q0, int q1)
+BasicStateVector<T>::apply_cz(int q0, int q1)
 {
     ELV_REQUIRE(q0 >= 0 && q0 < num_qubits_ && q1 >= 0 &&
                     q1 < num_qubits_ && q0 != q1,
@@ -160,8 +136,9 @@ StateVector::apply_cz(int q0, int q1)
     }
 }
 
+template <typename T>
 void
-StateVector::apply_swap(int q0, int q1)
+BasicStateVector<T>::apply_swap(int q0, int q1)
 {
     ELV_REQUIRE(q0 >= 0 && q0 < num_qubits_ && q1 >= 0 &&
                     q1 < num_qubits_ && q0 != q1,
@@ -178,23 +155,22 @@ StateVector::apply_swap(int q0, int q1)
     }
 }
 
+template <typename T>
 void
-StateVector::apply_diag_1q(Amp d0, Amp d1, int q)
+BasicStateVector<T>::apply_diag_1q(std::complex<double> d0,
+                                   std::complex<double> d1, int q)
 {
     ELV_REQUIRE(q >= 0 && q < num_qubits_, "qubit out of range");
     const std::size_t stride = std::size_t{1} << q;
-    const std::size_t dim = amps_.size();
-    for (std::size_t base = 0; base < dim; base += 2 * stride) {
-        for (std::size_t off = 0; off < stride; ++off) {
-            amps_[base + off] *= d0;
-            amps_[base + off + stride] *= d1;
-        }
-    }
+    vec::apply_diag_1q(amps_.data(), amps_.size(), stride, AmpT(d0),
+                       AmpT(d1));
 }
 
+template <typename T>
 void
-StateVector::apply_op(const circ::Op &op, const std::vector<double> &params,
-                      const std::vector<double> &x)
+BasicStateVector<T>::apply_op(const circ::Op &op,
+                              const std::vector<double> &params,
+                              const std::vector<double> &x)
 {
     if (op.kind == circ::GateKind::AmpEmbed) {
         set_amplitude_embedding(x);
@@ -243,79 +219,99 @@ StateVector::apply_op(const circ::Op &op, const std::vector<double> &params,
     }
 }
 
+template <typename T>
 void
-StateVector::run(const circ::Circuit &circuit,
-                 const std::vector<double> &params,
-                 const std::vector<double> &x)
+BasicStateVector<T>::run(const circ::Circuit &circuit,
+                         const std::vector<double> &params,
+                         const std::vector<double> &x)
 {
     ELV_REQUIRE(circuit.num_qubits() == num_qubits_,
                 "circuit/state qubit count mismatch");
     // Coarse-granularity span: one per circuit run, never per gate.
     ELV_TRACE_SCOPE("sv.run", "sim");
     ELV_METRIC_COUNT("sim.sv.runs");
+    note_kernel_dispatch();
+    if constexpr (std::is_same_v<T, float>)
+        ELV_METRIC_COUNT("sim.f32_evals");
     reset();
     for (const circ::Op &op : circuit.ops())
         apply_op(op, params, x);
 }
 
+template <typename T>
 void
-StateVector::set_amplitude_embedding(const std::vector<double> &x)
+BasicStateVector<T>::set_amplitude_embedding(const std::vector<double> &x)
 {
     ELV_REQUIRE(x.size() <= amps_.size(),
                 "amplitude embedding input larger than state");
     double ss = 0.0;
     for (double v : x)
         ss += v * v;
-    std::fill(amps_.begin(), amps_.end(), Amp(0));
+    std::fill(amps_.begin(), amps_.end(), AmpT(0));
     if (ss <= 0.0) {
-        amps_[0] = Amp(1);
+        amps_[0] = AmpT(1);
         return;
     }
     const double inv = 1.0 / std::sqrt(ss);
     for (std::size_t i = 0; i < x.size(); ++i)
-        amps_[i] = Amp(x[i] * inv);
+        amps_[i] = AmpT(static_cast<T>(x[i] * inv));
 }
 
+template <typename T>
 double
-StateVector::expect_z(int q) const
+BasicStateVector<T>::expect_z(int q) const
 {
     ELV_REQUIRE(q >= 0 && q < num_qubits_, "qubit out of range");
     const std::size_t mask = std::size_t{1} << q;
     double e = 0.0;
     for (std::size_t i = 0; i < amps_.size(); ++i) {
-        const double p = std::norm(amps_[i]);
+        // |a|^2 expanded with double operands: identical to std::norm
+        // for T = double, and a double accumulation (rather than a
+        // float one) of float amplitudes.
+        const double re = amps_[i].real();
+        const double im = amps_[i].imag();
+        const double p = re * re + im * im;
         e += (i & mask) ? -p : p;
     }
     return e;
 }
 
+template <typename T>
 double
-StateVector::norm() const
+BasicStateVector<T>::norm() const
 {
     double s = 0.0;
-    for (const Amp &a : amps_)
-        s += std::norm(a);
+    for (const AmpT &a : amps_) {
+        const double re = a.real();
+        const double im = a.imag();
+        s += re * re + im * im;
+    }
     return s;
 }
 
+template <typename T>
 double
-StateVector::overlap(const StateVector &other) const
+BasicStateVector<T>::overlap(const BasicStateVector &other) const
 {
     ELV_REQUIRE(other.amps_.size() == amps_.size(),
                 "overlap dimension mismatch");
-    Amp acc(0);
+    std::complex<double> acc(0);
     for (std::size_t i = 0; i < amps_.size(); ++i)
-        acc += std::conj(other.amps_[i]) * amps_[i];
+        acc += std::conj(std::complex<double>(other.amps_[i])) *
+               std::complex<double>(amps_[i]);
     return std::norm(acc);
 }
 
+template <typename T>
 std::vector<double>
-StateVector::probabilities(const std::vector<int> &qubits) const
+BasicStateVector<T>::probabilities(const std::vector<int> &qubits) const
 {
     ELV_REQUIRE(qubits.size() <= 20, "too many measured qubits");
     std::vector<double> probs(std::size_t{1} << qubits.size(), 0.0);
     for (std::size_t i = 0; i < amps_.size(); ++i) {
-        const double p = std::norm(amps_[i]);
+        const double re = amps_[i].real();
+        const double im = amps_[i].imag();
+        const double p = re * re + im * im;
         if (p == 0.0)
             continue;
         std::size_t outcome = 0;
@@ -327,23 +323,31 @@ StateVector::probabilities(const std::vector<int> &qubits) const
     return probs;
 }
 
+template <typename T>
 std::vector<double>
-StateVector::probabilities_full() const
+BasicStateVector<T>::probabilities_full() const
 {
     std::vector<double> probs(amps_.size());
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        probs[i] = std::norm(amps_[i]);
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        const double re = amps_[i].real();
+        const double im = amps_[i].imag();
+        probs[i] = re * re + im * im;
+    }
     return probs;
 }
 
+template <typename T>
 std::size_t
-StateVector::sample(const std::vector<int> &qubits, elv::Rng &rng) const
+BasicStateVector<T>::sample(const std::vector<int> &qubits,
+                            elv::Rng &rng) const
 {
     return sample_from(probabilities(qubits), rng);
 }
 
+template <typename T>
 std::size_t
-StateVector::sample_from(const std::vector<double> &probs, elv::Rng &rng)
+BasicStateVector<T>::sample_from(const std::vector<double> &probs,
+                                 elv::Rng &rng)
 {
     ELV_REQUIRE(!probs.empty(), "cannot sample an empty distribution");
     ELV_METRIC_COUNT("sim.shots");
@@ -355,5 +359,8 @@ StateVector::sample_from(const std::vector<double> &probs, elv::Rng &rng)
     }
     return probs.size() - 1;
 }
+
+template class BasicStateVector<double>;
+template class BasicStateVector<float>;
 
 } // namespace elv::sim

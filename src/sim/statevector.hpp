@@ -5,6 +5,19 @@
  * Qubit q corresponds to bit q of the basis-state index (qubit 0 is the
  * least significant bit). Used for all noiseless evaluation: training,
  * RepCap, ideal Clifford-replica outputs and ground-truth checks.
+ *
+ * The simulator is templated on the amplitude component type:
+ * `StateVector` (= BasicStateVector<double>) is the default used
+ * everywhere correctness-sensitive; `StateVectorF` backs the
+ * Float32Proxy precision policy (sim/precision.hpp) for ranking-only
+ * proxy scoring. Both share one implementation; the public matrix/gate
+ * interface stays in double (Mat2/Mat4/Mat16) and converts at the
+ * kernel boundary, while reductions (norms, probabilities,
+ * expectations) always accumulate and return double.
+ *
+ * The inner loops dispatch to the vectorized kernels in
+ * sim/vec_complex.hpp; all kernel tiers are bit-identical, so results
+ * never depend on the host CPU or on ELV_FORCE_KERNEL.
  */
 #pragma once
 
@@ -13,17 +26,26 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "common/aligned.hpp"
 #include "common/rng.hpp"
 #include "sim/unitaries.hpp"
 
 namespace elv::sim {
 
+/** Aligned amplitude storage (64-byte base for the vector kernels). */
+template <typename T>
+using AmpVector =
+    std::vector<std::complex<T>, AlignedAllocator<std::complex<T>>>;
+
 /** A pure quantum state over a fixed qubit register. */
-class StateVector
+template <typename T>
+class BasicStateVector
 {
   public:
+    using AmpT = std::complex<T>;
+
     /** Construct in |0...0>. Practical limit is ~24 qubits. */
-    explicit StateVector(int num_qubits);
+    explicit BasicStateVector(int num_qubits);
 
     /** Reset to |0...0>. */
     void reset();
@@ -32,9 +54,9 @@ class StateVector
     std::size_t dim() const { return amps_.size(); }
 
     /** Raw amplitude access (basis-state index). */
-    Amp amp(std::size_t index) const { return amps_[index]; }
-    std::vector<Amp> &amps() { return amps_; }
-    const std::vector<Amp> &amps() const { return amps_; }
+    AmpT amp(std::size_t index) const { return amps_[index]; }
+    AmpVector<T> &amps() { return amps_; }
+    const AmpVector<T> &amps() const { return amps_; }
 
     /** Apply a 1-qubit unitary to qubit q. */
     void apply_1q(const Mat2 &u, int q);
@@ -69,7 +91,8 @@ class StateVector
     void apply_swap(int q0, int q1);
 
     /** Diagonal 1-qubit gate diag(d0, d1) on qubit q. */
-    void apply_diag_1q(Amp d0, Amp d1, int q);
+    void apply_diag_1q(std::complex<double> d0, std::complex<double> d1,
+                       int q);
 
     /**
      * Route apply_op through the specialized kernels (default on).
@@ -106,7 +129,7 @@ class StateVector
     double norm() const;
 
     /** |<other|this>|^2 overlap with another state of equal size. */
-    double overlap(const StateVector &other) const;
+    double overlap(const BasicStateVector &other) const;
 
     /**
      * Marginal outcome distribution over `qubits`: entry k is the
@@ -131,8 +154,17 @@ class StateVector
 
   private:
     int num_qubits_;
-    std::vector<Amp> amps_;
+    AmpVector<T> amps_;
     bool specialized_ = true;
 };
+
+extern template class BasicStateVector<double>;
+extern template class BasicStateVector<float>;
+
+/** The default full-precision simulator. */
+using StateVector = BasicStateVector<double>;
+
+/** The Float32Proxy simulator (ranking-only proxy evaluation). */
+using StateVectorF = BasicStateVector<float>;
 
 } // namespace elv::sim

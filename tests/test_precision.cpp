@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the Float32Proxy precision policy: name round-trips, CNR
+ * and RepCap ranking equivalence between f64 and f32 over a generated
+ * candidate corpus, the server JobSpec precision field, and the
+ * precision-misuse lint rule guarding training paths.
+ *
+ * The ranking-equivalence contract (ISSUE acceptance): both precisions
+ * consume identical RNG streams, so scores differ only by float
+ * rounding (~1e-6). Candidate pairs whose f64 score gap exceeds the
+ * documented tie tolerance TIE_EPS must order identically under f32;
+ * pairs inside the tolerance are ties and either order is accepted.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "core/candidate_gen.hpp"
+#include "core/cnr.hpp"
+#include "core/repcap.hpp"
+#include "device/device.hpp"
+#include "lint/lint.hpp"
+#include "lint/preflight.hpp"
+#include "qml/dataset.hpp"
+#include "qml/synthetic.hpp"
+#include "server/job.hpp"
+#include "server/json_value.hpp"
+#include "sim/precision.hpp"
+
+namespace {
+
+using namespace elv;
+using circ::Circuit;
+using sim::Precision;
+
+/** Documented tie tolerance on f64 score gaps (see file comment). */
+constexpr double TIE_EPS = 1e-6;
+
+core::CandidateConfig
+corpus_config(int num_features)
+{
+    core::CandidateConfig config;
+    config.num_qubits = 4;
+    config.num_params = 12;
+    config.num_embeds = 4;
+    config.num_meas = 2;
+    config.num_features = num_features;
+    return config;
+}
+
+std::vector<Circuit>
+candidate_corpus(const dev::Device &device, int count, std::uint64_t seed,
+                 int num_features = 4)
+{
+    Rng rng(seed);
+    const core::CandidateConfig config = corpus_config(num_features);
+    std::vector<Circuit> corpus;
+    corpus.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        corpus.push_back(core::generate_candidate(device, config, rng));
+    return corpus;
+}
+
+/**
+ * Assert the two score vectors induce the same ranking: every pair
+ * separated by more than TIE_EPS in f64 must order the same way in f32.
+ */
+void
+expect_same_ranking(const std::vector<double> &f64,
+                    const std::vector<double> &f32)
+{
+    ASSERT_EQ(f64.size(), f32.size());
+    int decisive_pairs = 0;
+    for (std::size_t i = 0; i < f64.size(); ++i)
+        for (std::size_t j = i + 1; j < f64.size(); ++j) {
+            if (std::abs(f64[i] - f64[j]) <= TIE_EPS)
+                continue;
+            ++decisive_pairs;
+            EXPECT_EQ(f64[i] < f64[j], f32[i] < f32[j])
+                << "pair (" << i << ", " << j << "): f64 "
+                << f64[i] << " vs " << f64[j] << ", f32 " << f32[i]
+                << " vs " << f32[j];
+        }
+    // A corpus of all ties would make this test vacuous.
+    EXPECT_GT(decisive_pairs, 0);
+}
+
+TEST(Precision, NamesRoundTrip)
+{
+    EXPECT_STREQ(sim::precision_name(Precision::Float64), "f64");
+    EXPECT_STREQ(sim::precision_name(Precision::Float32Proxy), "f32");
+    for (const char *name : {"f64", "float64", "double"})
+        EXPECT_EQ(sim::precision_from_name(name), Precision::Float64);
+    for (const char *name : {"f32", "float32", "float"})
+        EXPECT_EQ(sim::precision_from_name(name),
+                  Precision::Float32Proxy);
+    EXPECT_FALSE(sim::precision_from_name("f16").has_value());
+    EXPECT_FALSE(sim::precision_from_name("").has_value());
+}
+
+TEST(Precision, CnrRankingMatchesFloat64)
+{
+    const dev::Device device = dev::make_device("ibmq_manila");
+    const std::vector<Circuit> corpus = candidate_corpus(device, 8, 11);
+
+    std::vector<double> f64_scores;
+    std::vector<double> f32_scores;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        core::CnrOptions options;
+        options.num_replicas = 8;
+        options.backend = core::CnrBackend::Density;
+
+        // Fresh, identically-seeded RNGs: both precisions must consume
+        // the same replica/noise draws for the scores to be comparable.
+        Rng rng64(1000 + i);
+        options.precision = Precision::Float64;
+        const double s64 =
+            core::clifford_noise_resilience(corpus[i], device, rng64,
+                                            options)
+                .cnr;
+
+        Rng rng32(1000 + i);
+        options.precision = Precision::Float32Proxy;
+        const double s32 =
+            core::clifford_noise_resilience(corpus[i], device, rng32,
+                                            options)
+                .cnr;
+
+        EXPECT_NEAR(s32, s64, 1e-4) << "candidate " << i;
+        f64_scores.push_back(s64);
+        f32_scores.push_back(s32);
+    }
+    expect_same_ranking(f64_scores, f32_scores);
+}
+
+TEST(Precision, RepCapRankingMatchesFloat64)
+{
+    const dev::Device device = dev::make_device("ibmq_manila");
+    // Moons is 2-dimensional; the candidates must not embed more.
+    const std::vector<Circuit> corpus = candidate_corpus(device, 8, 29, 2);
+
+    Rng data_rng(7);
+    qml::Dataset data = qml::make_moons(32, 0.1, data_rng);
+    qml::normalize_features(data, 0.0, 1.0);
+
+    std::vector<double> f64_scores;
+    std::vector<double> f32_scores;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        core::RepCapOptions options;
+        options.samples_per_class = 4;
+        options.param_inits = 6;
+        options.num_bases = 2;
+
+        Rng rng64(2000 + i);
+        options.precision = Precision::Float64;
+        const double s64 =
+            core::representational_capacity(corpus[i], data, rng64,
+                                            options)
+                .repcap;
+
+        Rng rng32(2000 + i);
+        options.precision = Precision::Float32Proxy;
+        const double s32 =
+            core::representational_capacity(corpus[i], data, rng32,
+                                            options)
+                .repcap;
+
+        EXPECT_NEAR(s32, s64, 1e-4) << "candidate " << i;
+        f64_scores.push_back(s64);
+        f32_scores.push_back(s32);
+    }
+    expect_same_ranking(f64_scores, f32_scores);
+}
+
+// --- Server job model -------------------------------------------------
+
+TEST(Precision, JobSpecPrecisionRoundTripsThroughJson)
+{
+    srv::JobSpec spec;
+    spec.benchmark = "moons";
+    spec.candidates = 6;
+    spec.precision = "f32";
+    spec.check();
+
+    srv::JsonValue value;
+    std::string error;
+    ASSERT_TRUE(srv::json_parse(spec.to_json(), value, error))
+        << error;
+    srv::JobSpec parsed;
+    ASSERT_TRUE(srv::JobSpec::from_json(value, parsed, error))
+        << error;
+    EXPECT_EQ(parsed.precision, "f32");
+}
+
+TEST(Precision, JobSpecDefaultsToFloat64)
+{
+    const srv::JobSpec spec;
+    EXPECT_EQ(spec.precision, "f64");
+}
+
+TEST(Precision, JobSpecRejectsUnknownPrecision)
+{
+    srv::JobSpec spec;
+    spec.benchmark = "moons";
+    spec.precision = "f16";
+    EXPECT_THROW(spec.check(), elv::UsageError);
+}
+
+// --- Lint: precision-misuse -------------------------------------------
+
+Circuit
+tiny_trainable_circuit()
+{
+    Circuit c(2);
+    c.add_variational(circ::GateKind::RY, {0});
+    c.add_variational(circ::GateKind::RY, {1});
+    c.add_gate(circ::GateKind::CX, {0, 1});
+    c.set_measured({0});
+    return c;
+}
+
+TEST(Precision, LintWarnsOnFloat32TrainingPath)
+{
+    const Circuit c = tiny_trainable_circuit();
+
+    lint::LintOptions options;
+    options.training_path = true;
+    options.precision = Precision::Float32Proxy;
+    const lint::Report report = lint::lint_circuit(c, options);
+    EXPECT_TRUE(report.fired("precision-misuse"))
+        << report.to_string();
+    // A warning, not an error: training still runs (in f64).
+    EXPECT_FALSE(report.has_errors()) << report.to_string();
+    EXPECT_NO_THROW(
+        lint::preflight(c, lint::Boundary::Training, options));
+}
+
+TEST(Precision, LintQuietWhenPrecisionIsSafe)
+{
+    const Circuit c = tiny_trainable_circuit();
+
+    // f64 training path: fine.
+    lint::LintOptions options;
+    options.training_path = true;
+    options.precision = Precision::Float64;
+    EXPECT_FALSE(lint::lint_circuit(c, options).fired("precision-misuse"));
+
+    // f32 on a scoring (non-training) path: the intended use.
+    options.training_path = false;
+    options.precision = Precision::Float32Proxy;
+    EXPECT_FALSE(lint::lint_circuit(c, options).fired("precision-misuse"));
+}
+
+} // namespace

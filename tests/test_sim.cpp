@@ -8,11 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
 
 #include "circuit/builders.hpp"
 #include "circuit/clifford_replica.hpp"
+#include "common/aligned.hpp"
 #include "common/rng.hpp"
 #include "common/statistics.hpp"
+#include "sim/cpu_features.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/gradients.hpp"
 #include "sim/observable.hpp"
@@ -516,5 +521,245 @@ TEST_P(GateIdentities, UnitaryEvolutionPreservesNorm)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GateIdentities,
                          ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Aligned amplitude storage.
+
+static_assert(std::is_same_v<AmpVector<double>::allocator_type,
+                             AlignedAllocator<std::complex<double>>>,
+              "state storage must use the over-aligned allocator");
+static_assert(
+    std::is_same_v<
+        AlignedAllocator<std::complex<double>>::rebind<float>::other,
+        AlignedAllocator<float, 64>>,
+    "rebinding must preserve the 64-byte alignment");
+static_assert(std::is_same_v<AlignedAllocator<double, 64>::value_type,
+                             double>,
+              "allocator value_type mismatch");
+
+bool
+is_64_byte_aligned(const void *p)
+{
+    return reinterpret_cast<std::uintptr_t>(p) % 64 == 0;
+}
+
+TEST(AlignedStorage, AmplitudesStartOn64ByteBoundary)
+{
+    for (int n = 1; n <= 10; ++n) {
+        StateVector psi(n);
+        EXPECT_TRUE(is_64_byte_aligned(psi.amps().data())) << n;
+        StateVectorF psif(n);
+        EXPECT_TRUE(is_64_byte_aligned(psif.amps().data())) << n;
+    }
+    // Copies allocate fresh storage; alignment must survive.
+    StateVector a(6);
+    StateVector b = a;
+    EXPECT_TRUE(is_64_byte_aligned(b.amps().data()));
+}
+
+TEST(AlignedStorage, AllocatorRoundsOddSizesUp)
+{
+    AlignedAllocator<std::complex<float>> alloc;
+    for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                          std::size_t{129}}) {
+        std::complex<float> *p = alloc.allocate(n);
+        EXPECT_TRUE(is_64_byte_aligned(p)) << n;
+        alloc.deallocate(p, n);
+    }
+    EXPECT_TRUE(alloc == AlignedAllocator<std::complex<float>>{});
+    EXPECT_FALSE(alloc != AlignedAllocator<std::complex<float>>{});
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-tier dispatch: override API and cross-tier bit-identity.
+
+/** Restores the process-wide dispatch state on scope exit. */
+struct TierGuard
+{
+    ~TierGuard() { clear_forced_tier(); }
+};
+
+TEST(KernelDispatch, TierNamesRoundTrip)
+{
+    for (KernelTier tier :
+         {KernelTier::Baseline, KernelTier::AVX2, KernelTier::AVX512}) {
+        const auto parsed = kernel_tier_from_name(kernel_tier_name(tier));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, tier);
+    }
+    EXPECT_FALSE(kernel_tier_from_name("sse").has_value());
+    EXPECT_FALSE(kernel_tier_from_name("").has_value());
+    EXPECT_FALSE(kernel_tier_from_name("AVX2 ").has_value());
+}
+
+TEST(KernelDispatch, ForcedTierClampsToSupported)
+{
+    TierGuard guard;
+    const KernelTier best = best_supported_tier();
+
+    set_forced_tier(KernelTier::Baseline);
+    EXPECT_EQ(active_tier(), KernelTier::Baseline);
+
+    // Requesting more than the CPU has clamps instead of crashing.
+    set_forced_tier(KernelTier::AVX512);
+    EXPECT_LE(static_cast<int>(active_tier()), static_cast<int>(best));
+
+    clear_forced_tier();
+    EXPECT_LE(static_cast<int>(active_tier()), static_cast<int>(best));
+}
+
+/** Deterministic dense matrix for kernel equivalence (need not be unitary —
+ *  bit-identity must hold for any finite inputs). */
+template <typename Mat>
+Mat
+random_matrix(Rng &rng)
+{
+    Mat m;
+    for (auto &row : m)
+        for (auto &e : row)
+            e = Amp(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    return m;
+}
+
+/**
+ * Run a gate sequence covering every vectorized kernel (generic 1q/2q/4q,
+ * CX/CZ/SWAP permutation paths, the diagonal fast path) under a forced
+ * tier and return the final amplitudes.
+ */
+template <typename T>
+AmpVector<T>
+run_kernel_gauntlet(int num_qubits, KernelTier tier, unsigned seed)
+{
+    set_forced_tier(tier);
+    Rng rng(seed);
+    Circuit c = build_random_rxyz_cz(num_qubits, num_qubits,
+                                     3 * num_qubits, 2, rng);
+    std::vector<double> params(static_cast<std::size_t>(3 * num_qubits));
+    for (auto &p : params)
+        p = rng.uniform(-M_PI, M_PI);
+    std::vector<double> x(static_cast<std::size_t>(num_qubits));
+    for (auto &v : x)
+        v = rng.uniform(-1.0, 1.0);
+
+    BasicStateVector<T> psi(num_qubits);
+    psi.run(c, params, x);
+    psi.apply_cx(0, num_qubits - 1);
+    psi.apply_cz(num_qubits - 1, 0);
+    if (num_qubits >= 3)
+        psi.apply_swap(1, num_qubits - 1);
+    psi.apply_diag_1q(Amp(0.6, -0.8), Amp(std::cos(0.3), std::sin(0.3)),
+                      num_qubits / 2);
+    psi.apply_1q(random_matrix<Mat2>(rng), 0);
+    psi.apply_2q(random_matrix<Mat4>(rng), num_qubits - 1, 0);
+    if (num_qubits >= 4)
+        psi.apply_4q(random_matrix<Mat16>(rng), 0, 1, num_qubits - 2,
+                     num_qubits - 1);
+    return psi.amps();
+}
+
+template <typename T>
+void
+expect_bit_identical(const AmpVector<T> &a, const AmpVector<T> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          a.size() * sizeof(std::complex<T>)),
+              0);
+}
+
+TEST(KernelDispatch, StateVectorTiersBitIdentical)
+{
+    TierGuard guard;
+    const int best = static_cast<int>(best_supported_tier());
+    for (int n : {2, 3, 5, 8}) {
+        const auto scalar =
+            run_kernel_gauntlet<double>(n, KernelTier::Baseline, 77u + n);
+        for (int t = 1; t <= best; ++t) {
+            const auto vec = run_kernel_gauntlet<double>(
+                n, static_cast<KernelTier>(t), 77u + n);
+            expect_bit_identical(scalar, vec);
+        }
+    }
+}
+
+TEST(KernelDispatch, FloatStateVectorTiersBitIdentical)
+{
+    TierGuard guard;
+    const int best = static_cast<int>(best_supported_tier());
+    for (int n : {2, 4, 8}) {
+        const auto scalar =
+            run_kernel_gauntlet<float>(n, KernelTier::Baseline, 31u + n);
+        for (int t = 1; t <= best; ++t) {
+            const auto vec = run_kernel_gauntlet<float>(
+                n, static_cast<KernelTier>(t), 31u + n);
+            expect_bit_identical(scalar, vec);
+        }
+    }
+}
+
+/** Density-matrix pipeline (gates + channels + superops) under one tier. */
+DensityMatrix
+run_channel_gauntlet(KernelTier tier, unsigned seed)
+{
+    set_forced_tier(tier);
+    const int n = 3;
+    Rng rng(seed);
+    Circuit c = build_random_rxyz_cz(n, n, 3 * n, 2, rng);
+    std::vector<double> params(static_cast<std::size_t>(3 * n));
+    for (auto &p : params)
+        p = rng.uniform(-M_PI, M_PI);
+
+    DensityMatrix rho(n);
+    rho.run(c, params, {0.2, -0.4, 0.9});
+    rho.apply_depolarizing_1q(0.05, 0);
+    rho.apply_depolarizing_2q(0.02, 1, 2);
+    rho.apply_thermal_relaxation(0.03, 0.01, 1);
+    rho.apply_superop_1q(random_matrix<Mat4>(rng), 2);
+    rho.apply_superop_2q(random_matrix<Mat16>(rng), 0, 2);
+    return rho;
+}
+
+TEST(KernelDispatch, DensityMatrixTiersBitIdentical)
+{
+    TierGuard guard;
+    const int best = static_cast<int>(best_supported_tier());
+    const DensityMatrix scalar =
+        run_channel_gauntlet(KernelTier::Baseline, 5u);
+    const std::size_t dim = std::size_t{1} << scalar.num_qubits();
+    for (int t = 1; t <= best; ++t) {
+        const DensityMatrix vec =
+            run_channel_gauntlet(static_cast<KernelTier>(t), 5u);
+        for (std::size_t r = 0; r < dim; ++r)
+            for (std::size_t col = 0; col < dim; ++col) {
+                const std::complex<double> a = scalar.element(r, col);
+                const std::complex<double> b = vec.element(r, col);
+                ASSERT_EQ(std::memcmp(&a, &b, sizeof a), 0)
+                    << "tier " << t << " rho(" << r << ", " << col << ")";
+            }
+    }
+}
+
+TEST(KernelDispatch, FloatStateTracksDoubleWithinFloatEps)
+{
+    Rng rng(101);
+    const int n = 6;
+    Circuit c = build_random_rxyz_cz(n, n, 4 * n, 2, rng);
+    std::vector<double> params(static_cast<std::size_t>(4 * n));
+    for (auto &p : params)
+        p = rng.uniform(-M_PI, M_PI);
+    const std::vector<double> x = {0.3, -0.2, 0.7, -0.9, 0.1, 0.5};
+
+    StateVector psi(n);
+    psi.run(c, params, x);
+    StateVectorF psif(n);
+    psif.run(c, params, x);
+
+    EXPECT_NEAR(psif.norm(), 1.0, 1e-5);
+    const auto pd = psi.probabilities(c.measured());
+    const auto pf = psif.probabilities(c.measured());
+    ASSERT_EQ(pd.size(), pf.size());
+    for (std::size_t i = 0; i < pd.size(); ++i)
+        EXPECT_NEAR(pd[i], pf[i], 1e-5);
+}
 
 } // namespace
