@@ -14,8 +14,10 @@
  *    (one gathered superoperator apply per gate+noise group), with a
  *    max-|prob-diff| equivalence check on the output distributions.
  *
- * The exit code reflects the *correctness* checks only (fused must
- * match unfused); speedups are reported, not gated, so a loaded CI
+ * The exit code reflects the *correctness* checks (fused must match
+ * unfused) plus, only when `--baseline` names a previous dump, the
+ * harness perf gate over the recorded min-of-k section timings —
+ * absolute speedups are still reported, not gated, so a loaded CI
  * machine cannot turn a perf report into a flaky failure. `--small`
  * restricts the sweep to the smallest sizes for smoke runs.
  */
@@ -218,16 +220,24 @@ main(int argc, char **argv)
         struct Case
         {
             const char *name;
+            const char *perf; // stable slug for the perf observatory
             circ::Circuit circuit;
         };
         const Case cases[] = {
-            {"clifford brickwork", clifford_brickwork(qubits, 6)},
-            {"parametric mix", parametric_mix(qubits, 6)},
+            {"clifford brickwork", "sv.clifford",
+             clifford_brickwork(qubits, 6)},
+            {"parametric mix", "sv.parametric",
+             parametric_mix(qubits, 6)},
         };
         for (const Case &kc : cases) {
             const int reps = small ? 50 : (qubits >= 10 ? 100 : 400);
             const SvTimings t =
                 time_statevector(kc.circuit, qubits, reps);
+            const std::string perf_key =
+                std::string(kc.perf) + ".q" + std::to_string(qubits);
+            reporter.record_perf(perf_key + ".plain", t.plain_s);
+            reporter.record_perf(perf_key + ".fused_simd",
+                                 t.fused_simd_s);
             const double diff = fused_max_diff(kc.circuit, qubits,
                                                fixed_params(kc.circuit));
             ok = ok && diff <= 1e-12;
@@ -257,8 +267,10 @@ main(int argc, char **argv)
                    "simd speedup", "superop f32 (ms)",
                    "max |prob diff|"});
     double simd_speedup_at_8 = 0.0;
+    // 8 qubits stays in the smoke preset: it is the smallest size whose
+    // sections clear the perf gate's 10 ms jitter cutoff.
     const std::vector<int> dm_qubits =
-        small ? std::vector<int>{4, 6} : std::vector<int>{4, 6, 8, 10};
+        small ? std::vector<int>{4, 6, 8} : std::vector<int>{4, 6, 8, 10};
     for (const int qubits : dm_qubits) {
         const int replicas = small ? 4 : (qubits >= 10 ? 4 : 8);
         elv::Rng rng(23 + static_cast<std::uint64_t>(qubits));
@@ -291,35 +303,86 @@ main(int argc, char **argv)
             f32_warm += fused32.fidelity(replica);
         (void)f32_warm;
 
-        double unfused_sum = 0.0, scalar_sum = 0.0, fused_sum = 0.0,
-               f32_sum = 0.0;
-        auto start = std::chrono::steady_clock::now();
-        for (const circ::Circuit &replica : reps)
-            unfused_sum += unfused.fidelity(replica);
-        const double kraus_s = seconds_since(start);
+        // Min-of-k sampling in the smoke preset: the perf gate compares
+        // these sections across invocations, and one averaged pass is
+        // still hostage to a slow scheduling window. Three interleaved
+        // passes per section; record_perf and the table keep the best.
+        // The gate samples are process-CPU-second deltas (these
+        // sections are single-threaded), so a descheduled process does
+        // not read as a regression; the table shows wall clock. Each
+        // timed section repeats its replica sweep `inner` times so the
+        // span dwarfs the CPU-clock quantum (sandboxed kernels report
+        // process CPU time at 10 ms jiffy granularity even when
+        // clock_getres claims 1 ns); times are normalized back per
+        // sweep before recording.
+        const int passes = small ? 3 : 1;
+        const int inner = small ? 4 : 1;
+        double kraus_s = 0.0, scalar_s = 0.0, simd_s = 0.0, f32_s = 0.0;
+        for (int pass = 0; pass < passes; ++pass) {
+            double unfused_sum = 0.0, scalar_sum = 0.0, fused_sum = 0.0,
+                   f32_sum = 0.0;
+            auto start = std::chrono::steady_clock::now();
+            double cpu_start = bench::process_cpu_seconds();
+            for (int it = 0; it < inner; ++it) {
+                unfused_sum = 0.0;
+                for (const circ::Circuit &replica : reps)
+                    unfused_sum += unfused.fidelity(replica);
+            }
+            const double kraus_cpu =
+                (bench::process_cpu_seconds() - cpu_start) / inner;
+            const double kraus_t = seconds_since(start) / inner;
 
-        // The acceptance comparison: identical compiled superoperator
-        // programs, scalar kernels vs the dispatched SIMD tier.
-        sim::set_forced_tier(sim::KernelTier::Baseline);
-        start = std::chrono::steady_clock::now();
-        for (const circ::Circuit &replica : reps)
-            scalar_sum += fused.fidelity(replica);
-        const double scalar_s = seconds_since(start);
-        sim::clear_forced_tier();
+            // The acceptance comparison: identical compiled
+            // superoperator programs, scalar kernels vs the dispatched
+            // SIMD tier.
+            sim::set_forced_tier(sim::KernelTier::Baseline);
+            start = std::chrono::steady_clock::now();
+            for (int it = 0; it < inner; ++it) {
+                scalar_sum = 0.0;
+                for (const circ::Circuit &replica : reps)
+                    scalar_sum += fused.fidelity(replica);
+            }
+            const double scalar_t = seconds_since(start) / inner;
+            sim::clear_forced_tier();
 
-        start = std::chrono::steady_clock::now();
-        for (const circ::Circuit &replica : reps)
-            fused_sum += fused.fidelity(replica);
-        const double simd_s = seconds_since(start);
+            start = std::chrono::steady_clock::now();
+            cpu_start = bench::process_cpu_seconds();
+            for (int it = 0; it < inner; ++it) {
+                fused_sum = 0.0;
+                for (const circ::Circuit &replica : reps)
+                    fused_sum += fused.fidelity(replica);
+            }
+            const double simd_cpu =
+                (bench::process_cpu_seconds() - cpu_start) / inner;
+            const double simd_t = seconds_since(start) / inner;
 
-        start = std::chrono::steady_clock::now();
-        for (const circ::Circuit &replica : reps)
-            f32_sum += fused32.fidelity(replica);
-        const double f32_s = seconds_since(start);
+            start = std::chrono::steady_clock::now();
+            for (int it = 0; it < inner; ++it) {
+                f32_sum = 0.0;
+                for (const circ::Circuit &replica : reps)
+                    f32_sum += fused32.fidelity(replica);
+            }
+            const double f32_t = seconds_since(start) / inner;
 
-        ok = ok && std::abs(unfused_sum - fused_sum) <= 1e-9 * replicas;
-        ok = ok && std::abs(scalar_sum - fused_sum) <= 1e-9 * replicas;
-        ok = ok && std::abs(f32_sum - fused_sum) <= 1e-3 * replicas;
+            ok = ok &&
+                 std::abs(unfused_sum - fused_sum) <= 1e-9 * replicas;
+            ok = ok &&
+                 std::abs(scalar_sum - fused_sum) <= 1e-9 * replicas;
+            ok = ok && std::abs(f32_sum - fused_sum) <= 1e-3 * replicas;
+
+            reporter.record_perf(
+                "dm.kraus.q" + std::to_string(qubits), kraus_cpu);
+            reporter.record_perf(
+                "dm.superop_simd.q" + std::to_string(qubits), simd_cpu);
+            if (pass == 0 || kraus_t < kraus_s)
+                kraus_s = kraus_t;
+            if (pass == 0 || scalar_t < scalar_s)
+                scalar_s = scalar_t;
+            if (pass == 0 || simd_t < simd_s)
+                simd_s = simd_t;
+            if (pass == 0 || f32_t < f32_s)
+                f32_s = f32_t;
+        }
 
         const double simd_speedup = scalar_s / std::max(1e-12, simd_s);
         if (qubits == 8)
@@ -340,5 +403,6 @@ main(int argc, char **argv)
                     simd_speedup_at_8);
     std::printf("fused-vs-unfused equivalence: %s\n",
                 ok ? "ok" : "FAILED");
-    return ok ? 0 : 1;
+    const int gate_rc = reporter.perf_gate_exit_code();
+    return ok ? gate_rc : 1;
 }

@@ -12,6 +12,11 @@
  *    8-qubit/64-candidate search, with a bit-identity check of the
  *    full ranking (the determinism contract of src/parallel/).
  *
+ * `--small` restricts the comparisons to the smallest sizes and a
+ * reduced candidate pool — the CI smoke/perf-gate preset. `--baseline
+ * FILE` gates the recorded section timings against a previous dump
+ * (see the harness perf observatory).
+ *
  * `--gbench` instead runs the original google-benchmark microbenches
  * for the paper's Sec. 5 efficiency claim: the stabilizer tableau
  * scales polynomially with qubit count while the dense state-vector
@@ -271,12 +276,13 @@ kernel_max_diff(const circ::Circuit &c, int qubits)
     return diff;
 }
 
-/** The 8-qubit, 64-candidate search of the parallel acceptance bench. */
+/** The 8-qubit search of the parallel acceptance bench (64 candidates,
+ *  16 under the `--small` smoke preset). */
 core::ElivagarConfig
-search_config(const qml::Benchmark &bench, int threads)
+search_config(const qml::Benchmark &bench, int threads, bool small)
 {
     core::ElivagarConfig config;
-    config.num_candidates = 64;
+    config.num_candidates = small ? 16 : 64;
     config.candidate.num_qubits = 8;
     config.candidate.num_params = 24;
     config.candidate.num_embeds = 8;
@@ -315,6 +321,11 @@ identical_rankings(const core::SearchResult &a, const core::SearchResult &b)
 int
 run_comparisons(int argc, char **argv)
 {
+    bool small = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--small")
+            small = true;
+
     // This bench exists to emit BENCH_parallel.json; force --json on.
     std::vector<char *> args(argv, argv + argc);
     char force_json[] = "--json";
@@ -331,21 +342,29 @@ run_comparisons(int argc, char **argv)
     struct KernelCase
     {
         const char *name;
+        const char *perf; // stable slug for the perf observatory
         circ::Circuit circuit;
         int qubits;
     };
+    const std::vector<int> case_qubits =
+        small ? std::vector<int>{8, 12} : std::vector<int>{8, 12, 16};
     std::vector<KernelCase> cases;
-    for (const int qubits : {8, 12, 16})
-        cases.push_back({"clifford brickwork",
+    for (const int qubits : case_qubits)
+        cases.push_back({"clifford brickwork", "clifford",
                          clifford_brickwork(qubits, 6), qubits});
-    for (const int qubits : {8, 12, 16})
-        cases.push_back({"entangler mix", kernel_mix(qubits, 6), qubits});
+    for (const int qubits : case_qubits)
+        cases.push_back(
+            {"entangler mix", "mix", kernel_mix(qubits, 6), qubits});
     for (const KernelCase &kc : cases) {
-        const int reps = kc.qubits >= 16 ? 10 : 40;
+        const int reps = small ? 10 : (kc.qubits >= 16 ? 10 : 40);
         const double generic_s =
             time_statevector(kc.circuit, kc.qubits, false, reps);
         const double fast_s =
             time_statevector(kc.circuit, kc.qubits, true, reps);
+        reporter.record_perf("kernels.specialized." +
+                                 std::string(kc.perf) + ".q" +
+                                 std::to_string(kc.qubits),
+                             fast_s);
         const double diff = kernel_max_diff(kc.circuit, kc.qubits);
         kernels.add_row({kc.name, std::to_string(kc.qubits),
                          Table::fmt(1e3 * generic_s, 3),
@@ -368,7 +387,7 @@ run_comparisons(int argc, char **argv)
                      "simd f64 (ms)", "simd speedup", "simd f32 (ms)",
                      "f32 gain", "bit-identical"});
     for (const KernelCase &kc : cases) {
-        const int reps = kc.qubits >= 16 ? 10 : 40;
+        const int reps = small ? 10 : (kc.qubits >= 16 ? 10 : 40);
         sim::set_forced_tier(sim::KernelTier::Baseline);
         const double scalar_s =
             time_statevector_t<double>(kc.circuit, kc.qubits, reps);
@@ -377,6 +396,9 @@ run_comparisons(int argc, char **argv)
             time_statevector_t<double>(kc.circuit, kc.qubits, reps);
         const double f32_s =
             time_statevector_t<float>(kc.circuit, kc.qubits, reps);
+        reporter.record_perf("simd.f64." + std::string(kc.perf) +
+                                 ".q" + std::to_string(kc.qubits),
+                             simd_s);
         const bool identical = tiers_bit_identical(kc.circuit, kc.qubits);
         tiers_ok = tiers_ok && identical;
         simd.add_row({kc.name, std::to_string(kc.qubits),
@@ -397,20 +419,41 @@ run_comparisons(int argc, char **argv)
     const qml::Benchmark bench = qml::make_benchmark("moons", 11, 0.15);
     const dev::Device device = dev::make_device("ibmq_mumbai");
 
-    auto serial_start = std::chrono::steady_clock::now();
-    const core::SearchResult serial =
-        core::elivagar_search(device, bench.train,
-                              search_config(bench, 1));
-    const double serial_s = seconds_since(serial_start);
+    // The ~1 s search timings are the perf gate's anchor entries, and
+    // one wall-clock sample on a shared runner is too noisy to hold a
+    // 15% threshold. The smoke preset times each leg three times
+    // (record_perf keeps the minimum; the table shows the best wall
+    // pair), and the gate samples are process-CPU-second deltas: the
+    // search does a deterministic amount of work, so its CPU time is
+    // stable even when the whole process gets descheduled.
+    const int samples = small ? 3 : 1;
+    core::SearchResult serial, parallel;
+    double serial_s = 0.0, parallel_s = 0.0;
+    for (int s = 0; s < samples; ++s) {
+        auto serial_start = std::chrono::steady_clock::now();
+        double cpu_start = bench::process_cpu_seconds();
+        serial = core::elivagar_search(device, bench.train,
+                                       search_config(bench, 1, small));
+        const double serial_cpu = bench::process_cpu_seconds() - cpu_start;
+        const double serial_t = seconds_since(serial_start);
 
-    auto parallel_start = std::chrono::steady_clock::now();
-    const core::SearchResult parallel =
-        core::elivagar_search(device, bench.train,
-                              search_config(bench, threads));
-    const double parallel_s = seconds_since(parallel_start);
+        auto parallel_start = std::chrono::steady_clock::now();
+        cpu_start = bench::process_cpu_seconds();
+        parallel =
+            core::elivagar_search(device, bench.train,
+                                  search_config(bench, threads, small));
+        const double parallel_cpu = bench::process_cpu_seconds() - cpu_start;
+        const double parallel_t = seconds_since(parallel_start);
+        reporter.record_perf("search.serial", serial_cpu);
+        reporter.record_perf("search.parallel", parallel_cpu);
+        if (s == 0 || serial_t < serial_s)
+            serial_s = serial_t;
+        if (s == 0 || parallel_t < parallel_s)
+            parallel_s = parallel_t;
+    }
 
-    Table search("Elivagar search: serial vs parallel "
-                 "(8 qubits, 64 candidates)");
+    Table search("Elivagar search: serial vs parallel (8 qubits, " +
+                 std::string(small ? "16" : "64") + " candidates)");
     search.set_header({"threads", "serial (s)", "parallel (s)",
                        "speedup", "bit-identical"});
     search.add_row({std::to_string(threads), Table::fmt(serial_s, 3),
@@ -418,7 +461,9 @@ run_comparisons(int argc, char **argv)
                     Table::fmt(serial_s / parallel_s, 2),
                     identical_rankings(serial, parallel) ? "yes" : "NO"});
     reporter.add(search);
-    return (identical_rankings(serial, parallel) && tiers_ok) ? 0 : 1;
+    const bool ok = identical_rankings(serial, parallel) && tiers_ok;
+    const int gate_rc = reporter.perf_gate_exit_code();
+    return ok ? gate_rc : 1;
 }
 
 } // namespace

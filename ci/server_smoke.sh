@@ -7,6 +7,11 @@
 # its checkpoint journal, and produce a result whose best_score_hex and
 # circuit are byte-identical to the uninterrupted run's.
 #
+# The clean reference run also serves as the telemetry smoke: it is
+# started with --metrics-port, its GET /metrics scrape must return a
+# non-empty Prometheus exposition, and the scraped server.queue.depth
+# gauge must agree with the JSON {"op":"metrics"} verb.
+#
 # Usage: ci/server_smoke.sh [BUILD_DIR] (default: build)
 set -euo pipefail
 
@@ -14,6 +19,7 @@ BUILD=${1:-build}
 CLI="$BUILD/examples/elivagar_cli"
 SRV="$BUILD/examples/elivagar_server"
 PORT=${SMOKE_PORT:-7461}
+MPORT=${SMOKE_METRICS_PORT:-$((PORT + 1))}
 WORK=$(mktemp -d)
 SRV_PID=""
 
@@ -44,13 +50,36 @@ with open(sys.argv[1]) as f:
 print(doc["result"][sys.argv[2]])' "$1" "$2"
 }
 
-echo "== clean reference run =="
+echo "== clean reference run (with telemetry port) =="
 "$SRV" --port "$PORT" --data-dir "$WORK/clean" --drain-sec 10 \
+    --metrics-port "$MPORT" \
     > "$WORK/clean.log" 2>&1 &
 SRV_PID=$!
 wait_up
 "$CLI" submit --port "$PORT" "${SPEC[@]}" --watch > /dev/null
 "$CLI" result --port "$PORT" --id job-1 > "$WORK/clean_result.json"
+
+echo "== telemetry: /metrics scrape agrees with the metrics verb =="
+curl -fsS "http://127.0.0.1:$MPORT/metrics" > "$WORK/scrape.txt"
+if ! [ -s "$WORK/scrape.txt" ]; then
+    echo "FAIL: GET /metrics returned an empty exposition" >&2
+    exit 1
+fi
+if ! grep -q '^elv_server_queue_depth ' "$WORK/scrape.txt"; then
+    echo "FAIL: exposition lacks elv_server_queue_depth" >&2
+    exit 1
+fi
+scrape_depth=$(awk '$1 == "elv_server_queue_depth" {print $2}' \
+    "$WORK/scrape.txt")
+verb_depth=$("$CLI" metrics --port "$PORT" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+print(int(doc["metrics"]["metrics"]["gauges"]["server.queue.depth"]["value"]))')
+echo "queue depth: scrape=$scrape_depth verb=$verb_depth"
+if [ "$scrape_depth" != "$verb_depth" ]; then
+    echo "FAIL: /metrics and the metrics verb disagree on queue depth" >&2
+    exit 1
+fi
 kill -TERM "$SRV_PID"
 wait "$SRV_PID"
 SRV_PID=""

@@ -12,8 +12,8 @@
  *                [--report FILE] [--list]
  *   elivagar_cli lint [FILE ...] [--builtin] [--device NAME]
  *                [--replica] [--require-embedding-prefix] [--rules]
- *   elivagar_cli submit|status|cancel|result|watch|health
- *                [--host A] [--port N] ...      (thin client mode)
+ *   elivagar_cli submit|status|cancel|result|watch|health|metrics|
+ *                events [--host A] [--port N] ...  (thin client mode)
  *
  * One-shot runs accept --deadline-sec: the search is cancelled
  * cooperatively when the wall-clock budget expires (exit status 3);
@@ -27,7 +27,9 @@
  *
  * Observability: --trace writes a Chrome trace_event JSON (open in
  * https://ui.perfetto.dev), --metrics turns on the counter registry and
- * prints it after the run, --report writes the structured run report.
+ * prints it after the run, --report writes the structured run report,
+ * and --profile samples the search with the SIGPROF profiler and
+ * writes collapsed stacks (feed to flamegraph.pl / speedscope).
  *
  * The `lint` subcommand runs the elvlint static verifier over circuit
  * files in the native text format (and, with --builtin, over every
@@ -56,6 +58,7 @@
 #include "lint/lint.hpp"
 #include "noise/noise_model.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "qml/synthetic.hpp"
 #include "sim/precision.hpp"
@@ -80,6 +83,7 @@ struct CliOptions
     double fault_rate = 0.0;
     int threads = 0; // 0 = one per hardware thread
     std::string trace_path;
+    std::string profile_path;
     std::string report_path;
     bool metrics = false;
     /** Wall-clock budget for the search phase; 0 disables. */
@@ -114,13 +118,15 @@ print_usage()
         "probability F\n"
         "  --trace FILE       write a Chrome trace of the search "
         "(Perfetto-viewable)\n"
+        "  --profile FILE     sample the search with SIGPROF and write\n"
+        "                     collapsed stacks (flamegraph input)\n"
         "  --metrics          collect and print pipeline metrics\n"
         "  --report FILE      write the structured run report JSON\n"
         "  --list             list benchmarks and devices, then exit\n"
         "subcommands:\n"
         "  lint               static-verify circuits and devices "
         "(elivagar_cli lint --help)\n"
-        "  submit|status|cancel|result|watch|health\n"
+        "  submit|status|cancel|result|watch|health|metrics|events\n"
         "                     talk to a running elivagar_server "
         "(elivagar_cli submit --help)\n");
 }
@@ -162,6 +168,8 @@ parse(int argc, char **argv, CliOptions &options)
             options.fault_rate = std::atof(value());
         else if (arg == "--trace")
             options.trace_path = value();
+        else if (arg == "--profile")
+            options.profile_path = value();
         else if (arg == "--report")
             options.report_path = value();
         else if (arg == "--metrics")
@@ -410,14 +418,17 @@ struct ClientCliOptions
     elv::srv::JobSpec spec;
     /** submit only: stream status until terminal after submitting. */
     bool watch_after = false;
+    /** events only: paging cursor and clip. */
+    std::uint64_t since = 0;
+    std::uint64_t limit = 64;
 };
 
 void
 print_client_usage()
 {
     std::printf(
-        "usage: elivagar_cli submit|status|cancel|result|watch|health "
-        "[options]\n"
+        "usage: elivagar_cli submit|status|cancel|result|watch|"
+        "health|metrics|events [options]\n"
         "  --host A           server address (default 127.0.0.1)\n"
         "  --port N           server port (default 7421)\n"
         "  --id job-N         job id (status/cancel/result/watch)\n"
@@ -425,6 +436,9 @@ print_client_usage()
         "  --benchmark NAME --device NAME --candidates N --seed N\n"
         "  --scale F --priority N --deadline-sec F --precision f64|f32\n"
         "  --watch            stream status until the job finishes\n"
+        "events options:\n"
+        "  --since S          only events with seq > S (default 0)\n"
+        "  --limit N          newest-clipped page size (default 64)\n"
         "`status` without --id lists every job the server knows.\n");
 }
 
@@ -511,6 +525,12 @@ run_client(int argc, char **argv)
             options.spec.precision = value();
         else if (arg == "--watch")
             options.watch_after = true;
+        else if (arg == "--since")
+            options.since = static_cast<std::uint64_t>(
+                std::strtoull(value(), nullptr, 10));
+        else if (arg == "--limit")
+            options.limit = static_cast<std::uint64_t>(
+                std::strtoull(value(), nullptr, 10));
         else if (arg == "--help" || arg == "-h") {
             print_client_usage();
             return 0;
@@ -575,6 +595,12 @@ run_client(int argc, char **argv)
     }
     if (op == "health")
         return roundtrip(srv::make_health_request());
+    if (op == "metrics")
+        return roundtrip(srv::make_metrics_request());
+    if (op == "events")
+        return roundtrip(srv::make_events_request(
+            options.since,
+            static_cast<std::size_t>(options.limit)));
     elv::fatal("unknown client subcommand: " + op);
     return 1;
 }
@@ -582,8 +608,8 @@ run_client(int argc, char **argv)
 bool
 is_client_op(const char *arg)
 {
-    for (const char *op :
-         {"submit", "status", "cancel", "result", "watch", "health"})
+    for (const char *op : {"submit", "status", "cancel", "result",
+                           "watch", "health", "metrics", "events"})
         if (std::strcmp(arg, op) == 0)
             return true;
     return false;
@@ -674,6 +700,8 @@ main(int argc, char **argv)
             obs::Registry::global().set_enabled(true);
         if (!options.trace_path.empty())
             obs::Tracer::global().start();
+        if (!options.profile_path.empty())
+            obs::Profiler::global().start();
 
         const auto found =
             core::elivagar_search(device, bench.train, config);
@@ -689,6 +717,11 @@ main(int argc, char **argv)
             obs::Tracer::global().write(options.trace_path))
             std::printf("trace written to %s\n",
                         options.trace_path.c_str());
+        if (!options.profile_path.empty() &&
+            obs::Profiler::global().write_collapsed(
+                options.profile_path))
+            std::printf("profile written to %s\n",
+                        options.profile_path.c_str());
         if (!options.report_path.empty() &&
             core::write_run_report(options.report_path, config, found))
             std::printf("run report written to %s\n",

@@ -9,8 +9,13 @@
  * Usage:
  *   elivagar_server [--host A] [--port N] [--data-dir DIR]
  *                   [--capacity N] [--workers N] [--threads N]
- *                   [--drain-sec F] [--metrics]
+ *                   [--drain-sec F] [--metrics] [--metrics-port N]
  *                   [--allow-remote-shutdown]
+ *
+ * --metrics-port opens a second, HTTP port serving GET /metrics
+ * (Prometheus text exposition of the registry, with histogram
+ * quantiles and EWMA counter rates) and GET /healthz — scrapers never
+ * touch the JSON job protocol. It implies --metrics.
  *
  * Protocol (one JSON object per line; see src/server/protocol.hpp):
  *   {"op":"submit","spec":{"benchmark":"moons","candidates":16}}
@@ -31,7 +36,10 @@
 #include <string>
 #include <thread>
 
+#include <memory>
+
 #include "common/logging.hpp"
+#include "server/http.hpp"
 #include "server/server.hpp"
 #include "server/tcp.hpp"
 
@@ -50,6 +58,8 @@ struct DaemonOptions
     elv::srv::ServerConfig core;
     elv::srv::TcpConfig tcp;
     double drain_sec = 10.0;
+    /** Prometheus scrape port; <0 = no HTTP endpoint. */
+    int metrics_port = -1;
 };
 
 void
@@ -70,6 +80,9 @@ print_usage()
         "  --drain-sec F      shutdown drain budget for in-flight jobs "
         "(default 10)\n"
         "  --metrics          enable the metrics registry/endpoint\n"
+        "  --metrics-port N   serve GET /metrics (Prometheus text) and\n"
+        "                     GET /healthz over HTTP on this port; 0\n"
+        "                     picks a free one. Implies --metrics\n"
         "  --allow-remote-shutdown\n"
         "                     honour {\"op\":\"shutdown\"} requests\n");
 }
@@ -104,6 +117,10 @@ parse(int argc, char **argv, DaemonOptions &options)
             options.drain_sec = std::atof(value());
         else if (arg == "--metrics")
             options.core.metrics = true;
+        else if (arg == "--metrics-port") {
+            options.metrics_port = std::atoi(value());
+            options.core.metrics = true;
+        }
         else if (arg == "--allow-remote-shutdown")
             options.tcp.allow_shutdown = true;
         else if (arg == "--help" || arg == "-h") {
@@ -128,10 +145,23 @@ main(int argc, char **argv)
 
         elv::srv::Server server(options.core);
         elv::srv::TcpServer tcp(server, options.tcp);
+        std::unique_ptr<elv::srv::MetricsHttpServer> http;
+        if (options.metrics_port >= 0) {
+            elv::srv::HttpConfig hc;
+            hc.host = options.tcp.host;
+            hc.port = static_cast<std::uint16_t>(options.metrics_port);
+            http = std::make_unique<elv::srv::MetricsHttpServer>(server,
+                                                                 hc);
+        }
         std::printf("elivagar_server listening on %s:%u (data in %s)\n",
                     options.tcp.host.c_str(),
                     static_cast<unsigned>(tcp.port()),
                     options.core.data_dir.c_str());
+        if (http)
+            std::printf("elivagar_server metrics on http://%s:%u"
+                        "/metrics\n",
+                        options.tcp.host.c_str(),
+                        static_cast<unsigned>(http->port()));
         std::fflush(stdout);
 
         std::signal(SIGTERM, on_signal);

@@ -6,6 +6,8 @@
 #include "common/runinfo.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "sim/cpu_features.hpp"
+#include "sim/precision.hpp"
 
 namespace elv::core {
 
@@ -141,6 +143,10 @@ write_metrics(obs::JsonWriter &json)
         for (std::uint64_t count : hist.counts)
             json.value(count);
         json.end_array();
+        json.kv("sum", hist.sum);
+        json.kv("q50", hist.quantile(0.5));
+        json.kv("q90", hist.quantile(0.9));
+        json.kv("q99", hist.quantile(0.99));
         json.end_object();
     }
     json.end_object();
@@ -158,6 +164,12 @@ run_report_json(const ElivagarConfig &config, const SearchResult &result)
     json.kv("report", "elivagar_search");
     json.kv("version", elv::version_string());
     json.kv("timestamp", elv::iso8601_utc_now());
+    // Execution provenance: kernel tier actually dispatched and the
+    // proxy-scoring precision, so a report is self-describing when
+    // artifacts from different machines or builds are compared.
+    json.kv("kernel_dispatch",
+            sim::kernel_tier_name(sim::active_tier()));
+    json.kv("precision", sim::precision_name(config.cnr.precision));
     write_config(json, config);
     write_search(json, result);
     write_phases(json, result);

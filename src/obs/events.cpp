@@ -1,0 +1,61 @@
+#include "obs/events.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hpp"
+
+namespace elv::obs {
+
+EventRing::EventRing(std::size_t capacity) : capacity_(capacity)
+{
+    ELV_REQUIRE(capacity_ > 0, "event ring capacity must be positive");
+    ring_.resize(capacity_);
+}
+
+std::uint64_t
+EventRing::emit(std::string kind, std::string subject, std::string detail)
+{
+    const std::int64_t wall_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t seq = next_seq_++;
+    Event &slot = ring_[static_cast<std::size_t>((seq - 1) % capacity_)];
+    slot.seq = seq;
+    slot.wall_ms = wall_ms;
+    slot.kind = std::move(kind);
+    slot.subject = std::move(subject);
+    slot.detail = std::move(detail);
+    return seq;
+}
+
+EventSlice
+EventRing::since(std::uint64_t cursor, std::size_t limit) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    EventSlice out;
+    const std::uint64_t last = next_seq_ - 1;
+    out.last_seq = last;
+    if (last == 0)
+        return out;
+    const std::uint64_t first =
+        last >= capacity_ ? last - capacity_ + 1 : 1;
+    out.first_seq = first;
+    if (cursor >= last)
+        return out;
+    // Clip from the *old* end first: a stale cursor yields the newest
+    // `limit` events plus a first_seq the reader can diff for loss.
+    std::uint64_t begin = std::max(cursor + 1, first);
+    const std::uint64_t available = last - begin + 1;
+    if (limit > 0 && available > limit)
+        begin = last - static_cast<std::uint64_t>(limit) + 1;
+    out.events.reserve(static_cast<std::size_t>(last - begin + 1));
+    for (std::uint64_t seq = begin; seq <= last; ++seq)
+        out.events.push_back(
+            ring_[static_cast<std::size_t>((seq - 1) % capacity_)]);
+    return out;
+}
+
+} // namespace elv::obs

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bounded in-memory event ring for operational events.
+ *
+ * Metrics answer "how much"; the event ring answers "what just
+ * happened": job admitted / started / shed / finished, degradation-
+ * ladder transitions. Events carry a monotonic sequence number, a
+ * wall-clock timestamp and a small free-form detail string. The ring
+ * holds the last `capacity` events — readers poll with `since(seq)` and
+ * detect loss by gaps in the sequence numbers (first_seq in the read
+ * result), so a slow reader degrades to "missed N events", never to
+ * blocking a writer.
+ *
+ * Thread-safe: one mutex around a fixed-size circular buffer. Writers
+ * are server-control-plane paths (admission, worker transitions), not
+ * simulator hot loops, so a mutex is the right tool.
+ */
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace elv::obs {
+
+/** One operational event. */
+struct Event
+{
+    /** Monotonic, 1-based; never reused within a ring. */
+    std::uint64_t seq = 0;
+    /** Unix epoch milliseconds at emission. */
+    std::int64_t wall_ms = 0;
+    /** Stable machine-readable kind ("job.admitted", "ladder.shrink"). */
+    std::string kind;
+    /** Subject id when the event is about a job ("job-3"), else empty. */
+    std::string subject;
+    /** Human-readable detail. */
+    std::string detail;
+};
+
+/** Result of reading the ring from a sequence cursor. */
+struct EventSlice
+{
+    /** Oldest sequence number still held (0 when the ring is empty). */
+    std::uint64_t first_seq = 0;
+    /** Newest sequence number emitted so far. */
+    std::uint64_t last_seq = 0;
+    /** Events with seq > the requested cursor, oldest first. */
+    std::vector<Event> events;
+};
+
+class EventRing
+{
+  public:
+    explicit EventRing(std::size_t capacity = 256);
+
+    /** Append an event; evicts the oldest when full. Returns its seq. */
+    std::uint64_t emit(std::string kind, std::string subject,
+                       std::string detail);
+
+    /**
+     * Events with seq > `cursor`, oldest first, at most `limit` (the
+     * newest are preferred when clipping). `cursor` 0 reads from the
+     * oldest retained event.
+     */
+    EventSlice since(std::uint64_t cursor, std::size_t limit = 64) const;
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::uint64_t next_seq_ = 1;
+    /** Circular: ring_[(seq - 1) % capacity_] holds event `seq`. */
+    std::vector<Event> ring_;
+};
+
+} // namespace elv::obs

@@ -1,0 +1,110 @@
+#include "obs/exposition.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace elv::obs {
+
+namespace {
+
+/**
+ * Shortest decimal form that round-trips the double: Prometheus `le`
+ * labels must match across scrapes, so "0.005" has to render as
+ * "0.005", not "0.0050000000000000001".
+ */
+std::string
+format_double(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+void
+append_series(std::string &out, const std::string &name,
+              const std::string &type, const std::string &value)
+{
+    out += "# TYPE " + name + " " + type + "\n";
+    out += name + " " + value + "\n";
+}
+
+} // namespace
+
+std::string
+prometheus_metric_name(const std::string &name)
+{
+    std::string out = "elv_";
+    out.reserve(name.size() + 4);
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string
+render_prometheus(const MetricsSnapshot &snapshot)
+{
+    std::string out;
+    for (const MetricsSnapshot::CounterValue &c : snapshot.counters)
+        append_series(out, prometheus_metric_name(c.name) + "_total",
+                      "counter", std::to_string(c.value));
+    for (const MetricsSnapshot::GaugeValue &g : snapshot.gauges) {
+        const std::string name = prometheus_metric_name(g.name);
+        append_series(out, name, "gauge", std::to_string(g.value));
+        append_series(out, name + "_max", "gauge",
+                      std::to_string(g.max));
+    }
+    for (const MetricsSnapshot::HistogramValue &h : snapshot.histograms) {
+        const std::string name = prometheus_metric_name(h.name);
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < h.edges.size(); ++b) {
+            cumulative += h.counts[b];
+            out += name + "_bucket{le=\"" + format_double(h.edges[b]) +
+                   "\"} " + std::to_string(cumulative) + "\n";
+        }
+        cumulative += h.counts.back();
+        out += name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(cumulative) + "\n";
+        out += name + "_sum " + format_double(h.sum) + "\n";
+        out += name + "_count " + std::to_string(cumulative) + "\n";
+        // Ready-made quantile gauges so dashboards need no PromQL
+        // bucket math; same interpolation as histogram_quantile().
+        static constexpr struct
+        {
+            const char *suffix;
+            double q;
+        } kQuantiles[] = {{"_q50", 0.5}, {"_q90", 0.9}, {"_q99", 0.99}};
+        for (const auto &[suffix, q] : kQuantiles)
+            append_series(out, name + suffix, "gauge",
+                          format_double(h.quantile(q)));
+    }
+    return out;
+}
+
+Exposition::Exposition(double rate_tau_sec) : rates_(rate_tau_sec) {}
+
+std::string
+Exposition::render(const Registry &registry, double now_sec)
+{
+    const MetricsSnapshot snapshot = registry.snapshot();
+    rates_.update(snapshot, now_sec);
+    std::string out = render_prometheus(snapshot);
+    for (const auto &[name, rate] : rates_.rates())
+        append_series(out, prometheus_metric_name(name) + "_rate",
+                      "gauge", format_double(rate));
+    return out;
+}
+
+} // namespace elv::obs

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Prometheus text-exposition renderer over `MetricsSnapshot`.
+ *
+ * Renders exposition format 0.0.4: `# TYPE` headers, counters with a
+ * `_total` suffix, gauges (current plus `_max` high-water), histograms
+ * as cumulative `_bucket{le="..."}` series with `_sum`/`_count`, and —
+ * because bucket math at the dashboard is easy to get wrong — ready
+ * quantile gauges (`_q50/_q90/_q99`) computed server-side from the
+ * same buckets. Dotted registry names map to the Prometheus grammar by
+ * `elv_` prefixing and dot → underscore (`server.queue.depth` →
+ * `elv_server_queue_depth`); the mapping is deterministic and sorted
+ * because snapshots are.
+ *
+ * `Exposition` adds per-counter EWMA rate gauges (`_rate`) on top of
+ * the stateless render: it owns a `RateTracker` that each `render()`
+ * feeds with the scrape-time snapshot, so rates converge across
+ * scrapes without any store beyond the tracker itself.
+ */
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace elv::obs {
+
+/** `elv_` + name with every non-[a-zA-Z0-9_] byte replaced by `_`. */
+std::string prometheus_metric_name(const std::string &name);
+
+/**
+ * Render one snapshot as Prometheus text (no rate series). Pure
+ * function of the snapshot — what the tests pin down.
+ */
+std::string render_prometheus(const MetricsSnapshot &snapshot);
+
+/**
+ * Stateful exposition endpoint: snapshot + EWMA rates. One instance per
+ * serving loop; `render()` is not thread-safe (the HTTP responder
+ * serializes scrapes through it).
+ */
+class Exposition
+{
+  public:
+    explicit Exposition(double rate_tau_sec = 30.0);
+
+    /**
+     * Snapshot `registry`, fold the snapshot into the rate tracker at
+     * `now_sec` (caller-supplied monotonic seconds) and render the
+     * exposition text including `_rate` gauges.
+     */
+    std::string render(const Registry &registry, double now_sec);
+
+  private:
+    RateTracker rates_;
+};
+
+} // namespace elv::obs

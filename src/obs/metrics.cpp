@@ -1,6 +1,8 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/logging.hpp"
 
@@ -26,6 +28,13 @@ Histogram::observe(double v)
         std::lower_bound(edges_.begin(), edges_.end(), v) -
         edges_.begin());
     buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    // CAS loop instead of fetch_add(double): portable to toolchains
+    // without lock-free FP RMW, and this path is cold relative to the
+    // bucket increment anyway.
+    double seen = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(seen, seen + v,
+                                       std::memory_order_relaxed)) {
+    }
 }
 
 std::vector<std::uint64_t>
@@ -46,11 +55,120 @@ Histogram::total() const
     return total;
 }
 
+double
+Histogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    return histogram_quantile(edges_, counts(), q);
+}
+
 void
 Histogram::reset()
 {
     for (std::size_t b = 0; b <= edges_.size(); ++b)
         buckets_[b].store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double
+histogram_quantile(const std::vector<double> &edges,
+                   const std::vector<std::uint64_t> &counts, double q)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    if (edges.empty() || counts.size() != edges.size() + 1)
+        return nan;
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts)
+        total += c;
+    if (total == 0 || !(q >= 0.0) || !(q <= 1.0))
+        return nan;
+
+    // Rank of the target observation in the cumulative distribution
+    // (Prometheus-style: q * total, located in cumulative counts).
+    const double rank = q * static_cast<double>(total);
+    double cumulative = 0.0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        const double in_bucket = static_cast<double>(counts[b]);
+        if (cumulative + in_bucket < rank && b + 1 < counts.size()) {
+            cumulative += in_bucket;
+            continue;
+        }
+        if (b == edges.size()) {
+            // +inf overflow: no finite upper edge to interpolate
+            // toward, so clamp to the largest finite edge.
+            return edges.back();
+        }
+        const double upper = edges[b];
+        // First finite bucket spans (0, edges[0]] when the edge is
+        // positive (latency-style histograms); otherwise it collapses
+        // onto its own edge.
+        const double lower =
+            b == 0 ? (upper > 0.0 ? 0.0 : upper) : edges[b - 1];
+        if (in_bucket <= 0.0)
+            return upper;
+        const double fraction =
+            std::min(1.0, std::max(0.0, (rank - cumulative) / in_bucket));
+        return lower + (upper - lower) * fraction;
+    }
+    return edges.back();
+}
+
+RateTracker::RateTracker(double tau_sec) : tau_sec_(tau_sec)
+{
+    ELV_REQUIRE(tau_sec_ > 0.0, "rate tracker tau must be positive");
+}
+
+void
+RateTracker::update(const MetricsSnapshot &snapshot, double now_sec)
+{
+    const double dt = has_time_ ? now_sec - last_time_sec_ : 0.0;
+    for (const MetricsSnapshot::CounterValue &c : snapshot.counters) {
+        State &state = states_[c.name];
+        if (!state.seeded || dt <= 0.0) {
+            // First sight of this counter (or a non-advancing clock):
+            // just record the baseline, a rate needs two points.
+            state.last_value = c.value;
+            state.seeded = true;
+            continue;
+        }
+        // Counters are monotonic; a backwards step means reset() ran,
+        // so restart the baseline rather than reporting a huge
+        // negative rate.
+        if (c.value < state.last_value) {
+            state.last_value = c.value;
+            state.ewma = 0.0;
+            continue;
+        }
+        const double instant =
+            static_cast<double>(c.value - state.last_value) / dt;
+        const double alpha = 1.0 - std::exp(-dt / tau_sec_);
+        state.ewma += alpha * (instant - state.ewma);
+        state.last_value = c.value;
+    }
+    last_time_sec_ = now_sec;
+    has_time_ = true;
+}
+
+double
+RateTracker::rate(const std::string &name) const
+{
+    const auto it = states_.find(name);
+    return it == states_.end() ? 0.0 : it->second.ewma;
+}
+
+std::vector<std::pair<std::string, double>>
+RateTracker::rates() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(states_.size());
+    for (const auto &[name, state] : states_)
+        out.emplace_back(name, state.ewma);
+    return out;
 }
 
 std::uint64_t
@@ -110,7 +228,8 @@ Registry::snapshot() const
     for (const auto &[name, gauge] : gauges_)
         snap.gauges.push_back({name, gauge->value(), gauge->max_value()});
     for (const auto &[name, hist] : histograms_)
-        snap.histograms.push_back({name, hist->edges(), hist->counts()});
+        snap.histograms.push_back(
+            {name, hist->edges(), hist->counts(), hist->sum()});
     return snap;
 }
 

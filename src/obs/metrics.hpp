@@ -149,12 +149,37 @@ class Histogram
     /** Total observations. */
     std::uint64_t total() const;
 
+    /** Sum of all observed values (CAS-accumulated double). */
+    double sum() const;
+
+    /**
+     * Estimated q-quantile (q in [0, 1]) by cumulative-bucket linear
+     * interpolation, Prometheus `histogram_quantile` style: the target
+     * rank is located in the cumulative counts, then interpolated
+     * linearly inside the owning bucket (first bucket interpolates from
+     * max(0, nothing) — i.e. from 0 when edges[0] > 0, else from
+     * edges[0]); ranks landing in the +inf overflow clamp to the last
+     * finite edge. Returns NaN when the histogram is empty.
+     */
+    double quantile(double q) const;
+
     void reset();
 
   private:
     std::vector<double> edges_;
     std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+    std::atomic<double> sum_{0.0};
 };
+
+/**
+ * Quantile estimation over a bucketed distribution — the math behind
+ * `Histogram::quantile`, usable on snapshot data. `counts` has
+ * `edges.size() + 1` entries (last = +inf overflow). Returns NaN for an
+ * empty distribution or a malformed counts size.
+ */
+double histogram_quantile(const std::vector<double> &edges,
+                          const std::vector<std::uint64_t> &counts,
+                          double q);
 
 /** Point-in-time copy of every registered metric, sorted by name. */
 struct MetricsSnapshot
@@ -175,6 +200,14 @@ struct MetricsSnapshot
         std::string name;
         std::vector<double> edges;
         std::vector<std::uint64_t> counts;
+        double sum = 0.0;
+
+        /** Quantile estimate over the snapshotted buckets. */
+        double
+        quantile(double q) const
+        {
+            return histogram_quantile(edges, counts, q);
+        }
     };
 
     std::vector<CounterValue> counters;
@@ -183,6 +216,48 @@ struct MetricsSnapshot
 
     /** Value of a counter by name (0 when absent). */
     std::uint64_t counter(const std::string &name) const;
+};
+
+/**
+ * Exponentially-weighted moving-average rates for counters, fed by
+ * successive snapshots. Each `update(snapshot, now_sec)` computes the
+ * instantaneous per-second rate of every counter since the previous
+ * update and folds it into a per-counter EWMA with time-aware weight
+ * `alpha = 1 - exp(-dt / tau)` — irregular scrape intervals therefore
+ * converge to the same steady-state as regular ones. Timestamps are
+ * caller-supplied (any monotonic seconds source), which keeps the math
+ * deterministic under test.
+ *
+ * Not thread-safe: owned and driven by one consumer (the exposition
+ * endpoint), not by instrumented hot paths.
+ */
+class RateTracker
+{
+  public:
+    /** `tau_sec` is the EWMA time constant (smoothing horizon). */
+    explicit RateTracker(double tau_sec = 30.0);
+
+    /** Fold one snapshot in. The first call only seeds the baseline. */
+    void update(const MetricsSnapshot &snapshot, double now_sec);
+
+    /** Smoothed per-second rate for a counter (0 when unknown). */
+    double rate(const std::string &name) const;
+
+    /** Every tracked (name, rate) pair, sorted by name. */
+    std::vector<std::pair<std::string, double>> rates() const;
+
+  private:
+    struct State
+    {
+        std::uint64_t last_value = 0;
+        double ewma = 0.0;
+        bool seeded = false;
+    };
+
+    double tau_sec_;
+    double last_time_sec_ = 0.0;
+    bool has_time_ = false;
+    std::map<std::string, State> states_;
 };
 
 /**

@@ -83,12 +83,9 @@ Tracer::drain()
     return out;
 }
 
-bool
-Tracer::write(const std::string &path)
+std::string
+chrome_trace_json(const std::vector<TraceEvent> &events)
 {
-    stop();
-    const std::vector<TraceEvent> events = drain();
-
     std::vector<int> tids;
     for (const TraceEvent &event : events)
         tids.push_back(event.tid);
@@ -130,14 +127,70 @@ Tracer::write(const std::string &path)
     json.end_array();
     json.kv("displayTimeUnit", "ms");
     json.end_object();
+    return json.str();
+}
 
+bool
+write_chrome_trace(const std::string &path,
+                   const std::vector<TraceEvent> &events)
+{
     std::ofstream out(path);
     if (!out) {
         elv::warn("cannot write trace file " + path);
         return false;
     }
-    out << json.str() << "\n";
+    out << chrome_trace_json(events) << "\n";
     return true;
+}
+
+bool
+Tracer::write(const std::string &path)
+{
+    stop();
+    return write_chrome_trace(path, drain());
+}
+
+void
+SpanLog::add(TraceEvent event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+void
+SpanLog::add_span(std::string name, const char *category, double ts_us,
+                  double dur_us, std::int64_t arg, bool has_arg)
+{
+    TraceEvent event;
+    event.name = std::move(name);
+    event.category = category;
+    event.ts_us = ts_us;
+    event.dur_us = dur_us;
+    event.tid = elv::thread_ordinal();
+    event.arg = arg;
+    event.has_arg = has_arg;
+    add(std::move(event));
+}
+
+std::vector<TraceEvent>
+SpanLog::events() const
+{
+    std::vector<TraceEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out = events_;
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.ts_us < b.ts_us;
+                     });
+    return out;
+}
+
+bool
+SpanLog::write(const std::string &path) const
+{
+    return write_chrome_trace(path, events());
 }
 
 TraceScope::TraceScope(const char *name, const char *category)

@@ -108,6 +108,52 @@ class Tracer
 };
 
 /**
+ * Render events as Chrome trace JSON: a "traceEvents" array of "X"
+ * spans plus "M" thread-name metadata for every tid present. Shared by
+ * `Tracer::write` and per-job `SpanLog` artifacts so both open in
+ * Perfetto identically.
+ */
+std::string chrome_trace_json(const std::vector<TraceEvent> &events);
+
+/**
+ * Write `events` to `path` as Chrome trace JSON. Returns false (with a
+ * warning) when the file cannot be written.
+ */
+bool write_chrome_trace(const std::string &path,
+                        const std::vector<TraceEvent> &events);
+
+/**
+ * Small thread-safe span collection with its own timeline — the
+ * per-job counterpart of the process-wide `Tracer`. The owner supplies
+ * timestamps (microseconds since whatever epoch it picks, typically
+ * job submission), appends spans from any thread, and writes a
+ * Perfetto-loadable artifact when the job completes. Unlike the global
+ * tracer it is always on: whether a job is traced is the owner's
+ * decision, not a process flag.
+ */
+class SpanLog
+{
+  public:
+    /** Append one span (thread-safe). */
+    void add(TraceEvent event);
+
+    /** Convenience: append a complete span. */
+    void add_span(std::string name, const char *category, double ts_us,
+                  double dur_us, std::int64_t arg = 0,
+                  bool has_arg = false);
+
+    /** Copy of all spans, stably sorted by start time. */
+    std::vector<TraceEvent> events() const;
+
+    /** Render via `write_chrome_trace`. */
+    bool write(const std::string &path) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+};
+
+/**
  * RAII span: captures the start time if tracing is on at construction,
  * records a complete event at destruction. Prefer the macro forms.
  */

@@ -175,6 +175,8 @@ status_json(const JobStatusSnapshot &snap)
         json.kv("recovered", true);
     if (snap.search_resumed)
         json.kv("resumed", true);
+    if (!snap.trace_path.empty())
+        json.kv("trace", snap.trace_path);
     if (snap.state == JobState::Completed)
         json.kv("best_score", snap.best_score);
     json.end_object();
@@ -215,6 +217,16 @@ handle_request(Server &server, const std::string &line,
     } else if (op == "metrics") {
         outcome.response =
             wrap_document("metrics", server.metrics_json());
+    } else if (op == "events") {
+        std::uint64_t since = 0;
+        std::uint64_t limit = 64;
+        if (const JsonValue *v = request.get("since"))
+            since = v->as_uint(0);
+        if (const JsonValue *v = request.get("limit"))
+            limit = v->as_uint(64);
+        outcome.response = wrap_document(
+            "events", server.events_json(
+                          since, static_cast<std::size_t>(limit)));
     } else if (op == "watch") {
         std::string id;
         const std::string id_error = require_id(request, id);
@@ -303,6 +315,18 @@ std::string
 make_metrics_request()
 {
     return simple_request("metrics");
+}
+
+std::string
+make_events_request(std::uint64_t since, std::size_t limit)
+{
+    obs::JsonWriter json;
+    json.begin_object();
+    json.kv("op", "events");
+    json.kv("since", since);
+    json.kv("limit", static_cast<std::uint64_t>(limit));
+    json.end_object();
+    return json.str();
 }
 
 std::string

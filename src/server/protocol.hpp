@@ -16,6 +16,9 @@
  *   {"op":"cancel","id":"job-3"}
  *   {"op":"result","id":"job-3"}        completed job's result doc
  *   {"op":"health"} / {"op":"metrics"}
+ *   {"op":"events","since":S,"limit":N} operational events with
+ *                                        seq > S (default 0, newest-
+ *                                        clipped to N, default 64)
  *   {"op":"watch","id":"job-3"}         transport streams one status
  *                                        line per state change until
  *                                        the job is terminal
@@ -75,6 +78,8 @@ std::string make_result_request(const std::string &id);
 std::string make_watch_request(const std::string &id);
 std::string make_health_request();
 std::string make_metrics_request();
+std::string make_events_request(std::uint64_t since = 0,
+                                std::size_t limit = 64);
 std::string make_shutdown_request(double drain_sec);
 /** @} */
 

@@ -15,6 +15,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
+#include "sim/cpu_features.hpp"
 
 namespace elv::srv {
 
@@ -29,6 +30,21 @@ seconds_since(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+/** Microseconds since `start` — trace-span timestamps. */
+double
+us_since(std::chrono::steady_clock::time_point start)
+{
+    return seconds_since(start) * 1e6;
+}
+
+const std::vector<double> &
+job_seconds_edges()
+{
+    static const std::vector<double> edges{0.01, 0.05, 0.1,  0.5,  1.0,
+                                           5.0,  15.0, 60.0, 300.0};
+    return edges;
 }
 
 bool
@@ -280,9 +296,13 @@ Server::recover_from_manifest()
             rec->state = JobState::Queued;
             rec->recovered = true;
             rec->detail = "recovered after restart";
+            rec->submitted_at = std::chrono::steady_clock::now();
+            rec->trace = std::make_shared<obs::SpanLog>();
             queue_.push_back(rec);
             ELV_METRIC_GAUGE_ADD("server.queue.depth", 1);
             ++recovered_;
+            events_.emit("job.admitted", rec->id,
+                         "recovered after restart");
         }
         records_[number] = rec;
     }
@@ -293,6 +313,7 @@ Server::recover_from_manifest()
               [](const RecordPtr &a, const RecordPtr &b) {
                   return a->number < b->number;
               });
+    note_ladder_locked();
 }
 
 int
@@ -306,6 +327,29 @@ Server::quota_for_depth_locked(std::size_t depth) const
     if (depth * 2 >= config_.queue_capacity)
         quota = std::max(1, quota / 2);
     return quota;
+}
+
+void
+Server::note_ladder_locked()
+{
+    // Mirrors the quota thresholds in quota_for_depth_locked; kept as
+    // a rung index so the event stream shows each transition once.
+    const std::size_t depth = queue_.size();
+    int level = 0;
+    if (depth * 4 >= config_.queue_capacity * 3)
+        level = 2;
+    else if (depth * 2 >= config_.queue_capacity)
+        level = 1;
+    if (level == ladder_level_)
+        return;
+    static constexpr const char *kRungs[] = {"full-quota", "half-quota",
+                                             "min-quota"};
+    events_.emit("ladder.level", "",
+                 std::string(kRungs[ladder_level_]) + " -> " +
+                     kRungs[level] + " (queue " +
+                     std::to_string(depth) + "/" +
+                     std::to_string(config_.queue_capacity) + ")");
+    ladder_level_ = level;
 }
 
 double
@@ -344,6 +388,7 @@ Server::submit(const JobSpec &spec)
         outcome.retry_after_ms = config_.default_retry_after_ms;
         ELV_METRIC_COUNT("server.jobs.rejected");
         ++rejected_;
+        events_.emit("job.rejected", "", outcome.error);
         return outcome;
     }
     if (queue_.size() >= config_.queue_capacity) {
@@ -367,6 +412,10 @@ Server::submit(const JobSpec &spec)
                 "shed under overload by a higher-priority job");
             ++shed_;
             ELV_METRIC_COUNT("server.jobs.shed");
+            events_.emit("job.shed", shed->id,
+                         "displaced by a priority-" +
+                             std::to_string(spec.priority) +
+                             " submission");
         } else {
             // Ladder step 2: plain admission rejection. No record is
             // allocated, so a submission flood cannot grow memory.
@@ -374,6 +423,7 @@ Server::submit(const JobSpec &spec)
             outcome.retry_after_ms = retry_after_estimate_locked();
             ++rejected_;
             ELV_METRIC_COUNT("server.jobs.rejected");
+            events_.emit("job.rejected", "", outcome.error);
             return outcome;
         }
     }
@@ -383,12 +433,19 @@ Server::submit(const JobSpec &spec)
     rec->id = "job-" + std::to_string(rec->number);
     rec->spec = spec;
     rec->token = std::make_shared<elv::CancelToken>();
+    rec->submitted_at = std::chrono::steady_clock::now();
+    rec->trace = std::make_shared<obs::SpanLog>();
     append_manifest_locked("job " + rec->id + " " + spec.to_json());
     records_[rec->number] = rec;
     queue_.push_back(rec);
     ++submitted_;
     ELV_METRIC_COUNT("server.jobs.submitted");
     ELV_METRIC_GAUGE_ADD("server.queue.depth", 1);
+    events_.emit("job.admitted", rec->id,
+                 "priority=" + std::to_string(spec.priority) +
+                     " depth=" + std::to_string(queue_.size()) + "/" +
+                     std::to_string(config_.queue_capacity));
+    note_ladder_locked();
     bump_epoch_locked();
 
     outcome.accepted = true;
@@ -433,6 +490,9 @@ Server::worker_loop()
             ++running_;
             threads_in_use_ += quota;
             ELV_METRIC_GAUGE_ADD("server.jobs.running", 1);
+            events_.emit("job.started", rec->id,
+                         "quota=" + std::to_string(quota));
+            note_ladder_locked();
             bump_epoch_locked();
         }
 
@@ -459,6 +519,13 @@ Server::run_job(const RecordPtr &rec)
     const std::shared_ptr<elv::CancelToken> token = rec->token;
     token->set_deadline_after(rec->spec.deadline_sec);
 
+    // Trace timeline: µs since admission, so the queue-wait span
+    // starts at t=0 and the run picks up where it ends.
+    const double run_start_us = us_since(rec->submitted_at);
+    rec->trace->add_span("queue.wait", "server", 0.0, run_start_us);
+    ELV_METRIC_OBSERVE("server.queue.wait_seconds", job_seconds_edges(),
+                       run_start_us / 1e6);
+
     JobState final_state = JobState::Completed;
     std::string detail;
     bool have_result = false;
@@ -480,6 +547,18 @@ Server::run_job(const RecordPtr &rec)
             rec->phase = phase;
             rec->done = done;
             rec->total = total;
+            if (rec->trace_phase != phase) {
+                // Phase transition: close the open span, start the
+                // next. Spans land in the job's own timeline.
+                const double now_us = us_since(rec->submitted_at);
+                if (!rec->trace_phase.empty())
+                    rec->trace->add_span(
+                        "phase." + rec->trace_phase, "search",
+                        rec->trace_phase_start_us,
+                        now_us - rec->trace_phase_start_us);
+                rec->trace_phase = phase;
+                rec->trace_phase_start_us = now_us;
+            }
             bump_epoch_locked();
         };
         result = core::elivagar_search(device, bench.train, config);
@@ -494,6 +573,35 @@ Server::run_job(const RecordPtr &rec)
         final_state = JobState::Failed;
         detail = e.what();
     }
+
+    const double end_us = us_since(rec->submitted_at);
+    {
+        // The progress hook mutates the open-phase fields under
+        // mutex_; close the trailing span under the same lock.
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!rec->trace_phase.empty()) {
+            rec->trace->add_span("phase." + rec->trace_phase, "search",
+                                 rec->trace_phase_start_us,
+                                 end_us - rec->trace_phase_start_us);
+            rec->trace_phase.clear();
+        }
+    }
+    rec->trace->add_span("job.run", "server", run_start_us,
+                         end_us - run_start_us);
+    const int nominal_quota =
+        std::max(1, thread_budget_ / config_.workers);
+    if (rec->thread_quota < nominal_quota) {
+        // Degradation span: the overload ladder narrowed this job, so
+        // "why was it slow" is visible in the artifact itself (arg =
+        // granted quota).
+        rec->trace->add_span("quota.degraded", "server", run_start_us,
+                             end_us - run_start_us, rec->thread_quota,
+                             true);
+    }
+    const bool trace_ok =
+        rec->trace->write(job_path(rec->id, ".trace.json"));
+    ELV_METRIC_OBSERVE("server.job.seconds", job_seconds_edges(),
+                       (end_us - run_start_us) / 1e6);
 
     double best_score = 0.0;
     if (have_result) {
@@ -516,6 +624,14 @@ Server::run_job(const RecordPtr &rec)
         json.kv("degraded_candidates", result.degraded_candidates);
         json.kv("resumed", result.resumed);
         json.kv("total_seconds", result.total_seconds);
+        // Execution provenance: which kernel tier and precision this
+        // result was computed with (PR 7), so artifacts from mixed
+        // fleets stay self-describing.
+        json.kv("kernel_dispatch",
+                sim::kernel_tier_name(sim::active_tier()));
+        json.kv("precision", rec->spec.precision);
+        if (trace_ok)
+            json.kv("trace", job_path(rec->id, ".trace.json"));
         json.kv("circuit", circ::to_text_line(result.best_circuit));
         json.end_object();
         if (!write_file_atomic(job_path(rec->id, ".result.json"),
@@ -527,6 +643,7 @@ Server::run_job(const RecordPtr &rec)
 
     std::lock_guard<std::mutex> lock(mutex_);
     rec->phase.clear();
+    rec->trace_written = trace_ok;
     if (rec->abandoned) {
         // Shutdown interrupted the job; its manifest state still reads
         // "running", so the next start re-queues and resumes it. No
@@ -544,6 +661,7 @@ Server::run_job(const RecordPtr &rec)
         ELV_METRIC_COUNT("server.jobs.completed");
         if (result.resumed)
             ELV_METRIC_COUNT("server.jobs.resumed");
+        events_.emit("job.finished", rec->id, "completed");
         return;
     }
     record_state_locked(*rec, final_state, detail);
@@ -554,6 +672,9 @@ Server::run_job(const RecordPtr &rec)
         ++failed_;
         ELV_METRIC_COUNT("server.jobs.failed");
     }
+    events_.emit("job.finished", rec->id,
+                 std::string(job_state_name(final_state)) +
+                     (detail.empty() ? "" : ": " + detail));
 }
 
 JobStatusSnapshot
@@ -571,6 +692,8 @@ Server::snapshot_locked(const JobRecord &rec) const
     snap.recovered = rec.recovered;
     snap.search_resumed = rec.search_resumed;
     snap.best_score = rec.best_score;
+    if (rec.trace_written)
+        snap.trace_path = job_path(rec.id, ".trace.json");
     return snap;
 }
 
@@ -613,6 +736,9 @@ Server::cancel(const std::string &id)
             ++cancelled_;
             ELV_METRIC_COUNT("server.jobs.cancelled");
             ELV_METRIC_GAUGE_ADD("server.queue.depth", -1);
+            events_.emit("job.finished", rec->id,
+                         "cancelled before start");
+            note_ladder_locked();
         }
         // A running job unwinds at its next cancellation checkpoint;
         // its worker records the terminal state.
@@ -699,6 +825,37 @@ Server::metrics_json() const
     json.end_object();
     json.end_object();
 
+    json.end_object();
+    return json.str();
+}
+
+obs::EventSlice
+Server::events_since(std::uint64_t cursor, std::size_t limit) const
+{
+    return events_.since(cursor, limit);
+}
+
+std::string
+Server::events_json(std::uint64_t cursor, std::size_t limit) const
+{
+    const obs::EventSlice slice = events_.since(cursor, limit);
+    obs::JsonWriter json;
+    json.begin_object();
+    json.kv("first_seq", slice.first_seq);
+    json.kv("last_seq", slice.last_seq);
+    json.key("events").begin_array();
+    for (const obs::Event &event : slice.events) {
+        json.begin_object();
+        json.kv("seq", event.seq);
+        json.kv("wall_ms", event.wall_ms);
+        json.kv("kind", event.kind);
+        if (!event.subject.empty())
+            json.kv("id", event.subject);
+        if (!event.detail.empty())
+            json.kv("detail", event.detail);
+        json.end_object();
+    }
+    json.end_array();
     json.end_object();
     return json.str();
 }

@@ -50,6 +50,8 @@
 #include <vector>
 
 #include "common/cancel.hpp"
+#include "obs/events.hpp"
+#include "obs/trace.hpp"
 #include "server/job.hpp"
 
 namespace elv::srv {
@@ -109,6 +111,8 @@ struct JobStatusSnapshot
     bool search_resumed = false;
     /** Composite score of the winner (valid when completed). */
     double best_score = 0.0;
+    /** Path of the job's trace artifact (empty until written). */
+    std::string trace_path;
 };
 
 /** The service core (transport-agnostic; see tcp.hpp for the wire). */
@@ -151,6 +155,18 @@ class Server
 
     /** health + a snapshot of the global metrics registry. */
     std::string metrics_json() const;
+
+    /**
+     * Operational events after sequence `cursor` (0 = oldest held),
+     * newest-clipped to `limit`. Readers page with the returned
+     * last_seq and detect loss via first_seq.
+     */
+    obs::EventSlice events_since(std::uint64_t cursor,
+                                 std::size_t limit) const;
+
+    /** events_since rendered as one JSON object. */
+    std::string events_json(std::uint64_t cursor,
+                            std::size_t limit) const;
 
     /**
      * Graceful shutdown: stop admission, let in-flight jobs run for up
@@ -202,6 +218,15 @@ class Server
         bool abandoned = false;
         double best_score = 0.0;
         std::shared_ptr<elv::CancelToken> token;
+        /** @name Per-job trace context (epoch = admission time) @{ */
+        std::chrono::steady_clock::time_point submitted_at;
+        std::shared_ptr<obs::SpanLog> trace;
+        /** Open phase span while running (mutated under mutex_). */
+        std::string trace_phase;
+        double trace_phase_start_us = 0.0;
+        /** The .trace.json artifact exists (links in status/result). */
+        bool trace_written = false;
+        /** @} */
     };
     using RecordPtr = std::shared_ptr<JobRecord>;
 
@@ -212,6 +237,8 @@ class Server
     void bump_epoch_locked();
     /** Overload-ladder thread quota for the given queue depth. */
     int quota_for_depth_locked(std::size_t depth) const;
+    /** Emit a ladder.level event when the queue depth crosses a rung. */
+    void note_ladder_locked();
     double retry_after_estimate_locked() const;
     RecordPtr pop_best_locked();
     void worker_loop();
@@ -244,6 +271,11 @@ class Server
                   recovered_ = 0;
     /** EWMA of completed-job wall time (retry-after estimates). */
     double job_ms_ewma_ = 0.0;
+
+    /** Operational event ring (its own lock; safe under mutex_). */
+    obs::EventRing events_{256};
+    /** Current degradation rung (0 full, 1 half, 2 min quota). */
+    int ladder_level_ = 0;
 
     std::chrono::steady_clock::time_point start_time_;
 };

@@ -23,6 +23,7 @@
 #include <thread>
 
 #include "common/logging.hpp"
+#include "server/http.hpp"
 #include "server/job.hpp"
 #include "server/json_value.hpp"
 #include "server/protocol.hpp"
@@ -683,6 +684,118 @@ TEST(Tcp, ClientReadTimeoutCoversPartialLines)
     EXPECT_NE(error.find("timed out"), std::string::npos) << error;
     ::close(conn_fd);
     ::close(listen_fd);
+}
+
+// --- Telemetry plane -------------------------------------------------
+
+TEST(Telemetry, EventsVerbReportsJobLifecycle)
+{
+    Server server(small_config(fresh_dir("tele_events")));
+    const SubmitOutcome outcome = server.submit(quick_spec());
+    ASSERT_TRUE(outcome.accepted) << outcome.error;
+    wait_for(server, outcome.id, is_terminal);
+
+    const RequestOutcome reply =
+        handle_request(server, make_events_request(0, 64), false);
+    JsonValue value;
+    std::string error;
+    ASSERT_TRUE(json_parse(reply.response, value, error))
+        << reply.response;
+    ASSERT_TRUE(value.get("ok")->as_bool(false));
+    const JsonValue *doc = value.get("events");
+    ASSERT_NE(doc, nullptr);
+    const std::uint64_t last_seq = doc->get("last_seq")->as_uint(0);
+    EXPECT_GE(last_seq, 3u); // admitted, started, finished
+
+    std::vector<std::string> kinds;
+    for (const JsonValue &event : doc->get("events")->items) {
+        kinds.push_back(event.get("kind")->as_string());
+        if (const JsonValue *id = event.get("id")) {
+            EXPECT_EQ(id->as_string(), outcome.id);
+        }
+    }
+    const auto index_of = [&](const char *kind) {
+        for (std::size_t i = 0; i < kinds.size(); ++i)
+            if (kinds[i] == kind)
+                return static_cast<std::ptrdiff_t>(i);
+        return static_cast<std::ptrdiff_t>(-1);
+    };
+    const std::ptrdiff_t admitted = index_of("job.admitted");
+    const std::ptrdiff_t started = index_of("job.started");
+    const std::ptrdiff_t finished = index_of("job.finished");
+    EXPECT_GE(admitted, 0);
+    EXPECT_LT(admitted, started);
+    EXPECT_LT(started, finished);
+
+    // Cursor paging: everything before last_seq is filtered out.
+    const RequestOutcome tail = handle_request(
+        server, make_events_request(last_seq, 64), false);
+    ASSERT_TRUE(json_parse(tail.response, value, error));
+    EXPECT_TRUE(value.get("events")->get("events")->items.empty());
+}
+
+TEST(Telemetry, TraceArtifactIsWrittenAndLinked)
+{
+    Server server(small_config(fresh_dir("tele_trace")));
+    const SubmitOutcome outcome = server.submit(quick_spec());
+    ASSERT_TRUE(outcome.accepted) << outcome.error;
+    const auto snap = wait_for(server, outcome.id, is_terminal);
+    ASSERT_EQ(snap.state, JobState::Completed);
+
+    // The job's trace artifact exists and is a Chrome trace with the
+    // queue-wait and run spans.
+    ASSERT_FALSE(snap.trace_path.empty());
+    ASSERT_TRUE(std::filesystem::exists(snap.trace_path))
+        << snap.trace_path;
+    std::ifstream in(snap.trace_path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string trace = buf.str();
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("queue.wait"), std::string::npos);
+    EXPECT_NE(trace.find("job.run"), std::string::npos);
+
+    // Both the status line and the result document link it.
+    EXPECT_NE(status_json(snap).find("\"trace\""), std::string::npos);
+    const auto result = server.result_json(outcome.id);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(json_field(*result, "trace"), snap.trace_path);
+}
+
+TEST(Telemetry, HttpHandleServesMetricsHealthzAnd404)
+{
+    ServerConfig config = small_config(fresh_dir("tele_http"));
+    config.metrics = true;
+    Server server(config);
+    const SubmitOutcome outcome = server.submit(quick_spec());
+    ASSERT_TRUE(outcome.accepted) << outcome.error;
+    wait_for(server, outcome.id, is_terminal);
+
+    HttpConfig http_config; // port 0: ephemeral
+    MetricsHttpServer http(server, http_config);
+    EXPECT_GT(http.port(), 0);
+
+    std::string content_type;
+    const std::string metrics = http.handle("/metrics", content_type);
+    EXPECT_NE(content_type.find("text/plain"), std::string::npos);
+#ifndef ELV_OBS_DISABLED
+    // Series content needs a live registry; the -DELV_OBS=OFF build
+    // still serves the endpoint (empty scrape), checked above.
+    EXPECT_NE(metrics.find("elv_server_queue_depth"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("elv_server_job_seconds_bucket"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("elv_server_job_seconds_q50"),
+              std::string::npos);
+#endif
+
+    const std::string health = http.handle("/healthz", content_type);
+    EXPECT_EQ(content_type, "application/json");
+    EXPECT_NE(health.find("serving"), std::string::npos);
+
+    std::string none_type = "sentinel";
+    EXPECT_TRUE(http.handle("/no-such", none_type).empty());
+    EXPECT_TRUE(none_type.empty());
 }
 
 } // namespace
