@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Distributed-search scaling: one fixed spec run single-process and
+ * then through dist::distributed_search at 1/2/4/8 local workers,
+ * reporting wall-clock, speedup over serial, and the fan-out
+ * accounting (records streamed, workers spawned). Every distributed
+ * run is asserted bit-identical to the serial reference first —
+ * a scaling number for a ranking that drifted would be meaningless.
+ *
+ * Perf notes: these sections record *wall clock*, not the process-CPU
+ * seconds the other gated benches use — the evaluation burns CPU in
+ * the forked worker processes, which the coordinator's CPU clock
+ * never sees. Min-of-k (two passes) keeps the gate samples
+ * noise-robust. Speedup saturates at the machine's core count: the
+ * workers are compute-bound processes, so an 8-worker run on a 2-core
+ * host measures oversubscription, not scaling (see EXPERIMENTS.md).
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/serialize.hpp"
+#include "common/table.hpp"
+#include "core/checkpoint.hpp"
+#include "core/search.hpp"
+#include "dist/coordinator.hpp"
+#include "server/job.hpp"
+
+#include "harness.hpp"
+
+namespace {
+
+using namespace elv;
+
+double
+seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+srv::JobSpec
+scaling_spec()
+{
+    srv::JobSpec spec;
+    spec.benchmark = "moons";
+    spec.candidates = 32;
+    spec.seed = 11;
+    spec.scale = 0.2;
+    return spec;
+}
+
+/** True when the two rankings agree bit for bit. */
+bool
+identical(const core::SearchResult &a, const core::SearchResult &b)
+{
+    if (circ::to_text(a.best_circuit) != circ::to_text(b.best_circuit))
+        return false;
+    if (core::double_to_hex(a.best_score) !=
+        core::double_to_hex(b.best_score))
+        return false;
+    if (a.survivors != b.survivors ||
+        a.total_executions() != b.total_executions())
+        return false;
+    if (a.candidates.size() != b.candidates.size())
+        return false;
+    for (std::size_t n = 0; n < a.candidates.size(); ++n)
+        if (core::double_to_hex(a.candidates[n].score) !=
+                core::double_to_hex(b.candidates[n].score) ||
+            a.candidates[n].rejected_by_cnr !=
+                b.candidates[n].rejected_by_cnr)
+            return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    elv::bench::Reporter reporter("dist", argc, argv);
+    const srv::JobSpec spec = scaling_spec();
+    reporter.set_seed(spec.seed);
+
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::printf("spec: %s / %d candidates, seed %llu; host has %u "
+                "hardware thread(s)\n\n",
+                spec.benchmark.c_str(), spec.candidates,
+                static_cast<unsigned long long>(spec.seed), cores);
+
+    // Serial reference: the exact JobSpec -> config mapping the
+    // CLI/server use, one thread (the distributed runs give each
+    // worker one simulator thread, so this is the like-for-like base).
+    const qml::Benchmark bench =
+        qml::make_benchmark(spec.benchmark, spec.seed, spec.scale);
+    const dev::Device device = dev::make_device(spec.device);
+    const core::ElivagarConfig config =
+        srv::job_search_config(spec, bench.spec, 1, "");
+
+    const int passes = 2; // min-of-k for the gate samples
+    core::SearchResult reference;
+    double serial_s = 0.0;
+    for (int pass = 0; pass < passes; ++pass) {
+        const auto start = std::chrono::steady_clock::now();
+        reference = core::elivagar_search(device, bench.train, config);
+        const double s = seconds_since(start);
+        reporter.record_perf("dist.serial", s);
+        if (pass == 0 || s < serial_s)
+            serial_s = s;
+    }
+
+    Table scaling("Distributed search scaling (wall clock, best of " +
+                  std::to_string(passes) + ")");
+    scaling.set_header({"workers", "wall (s)", "speedup", "records",
+                        "spawned", "identical"});
+    scaling.add_row({"serial", Table::fmt(serial_s, 3), "1.00", "-",
+                     "-", "ref"});
+
+    bool all_identical = true;
+    for (const int workers : {1, 2, 4, 8}) {
+        dist::DistResult run;
+        double best_s = 0.0;
+        for (int pass = 0; pass < passes; ++pass) {
+            dist::DistConfig dc;
+            dc.workers = workers;
+            dc.worker_binary = ELV_WORKER_BIN; // from this build tree
+            dc.threads_per_worker = 1;
+            dc.coordinator_threads = 1;
+            const auto start = std::chrono::steady_clock::now();
+            run = dist::distributed_search(spec, dc);
+            const double s = seconds_since(start);
+            reporter.record_perf(
+                "dist.workers." + std::to_string(workers), s);
+            if (pass == 0 || s < best_s)
+                best_s = s;
+        }
+        const bool same = identical(reference, run.result);
+        all_identical = all_identical && same;
+        scaling.add_row(
+            {std::to_string(workers), Table::fmt(best_s, 3),
+             Table::fmt(serial_s / std::max(1e-9, best_s), 2),
+             std::to_string(run.stats.records_received),
+             std::to_string(run.stats.workers_spawned),
+             same ? "yes" : "NO"});
+    }
+    reporter.add(scaling);
+
+    std::printf(
+        "\nShape check: every distributed ranking is bit-identical to "
+        "the serial one\n(the 'identical' column), and speedup climbs "
+        "with workers until the host's\ncore count caps it — beyond "
+        "that, extra workers only oversubscribe.\n");
+
+    if (!all_identical) {
+        std::fprintf(stderr, "FAIL: a distributed ranking diverged "
+                             "from the serial reference\n");
+        return 1;
+    }
+    return reporter.perf_gate_exit_code();
+}

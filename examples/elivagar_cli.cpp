@@ -8,8 +8,17 @@
  * Usage:
  *   elivagar_cli [--benchmark NAME] [--device NAME] [--candidates N]
  *                [--epochs N] [--seed N] [--scale F] [--threads N]
+ *                [--workers N] [--attach host:port] [--dist-state DIR]
  *                [--emit text|qasm] [--trace FILE] [--metrics]
  *                [--report FILE] [--list]
+ *
+ * --workers N fans the candidate evaluation out over N local worker
+ * processes (forked elivagar_worker binaries); --attach adds running
+ * `elivagar_worker --serve` peers. The merged ranking is bit-identical
+ * to the single-process search at any worker count. --dist-state DIR
+ * keeps per-shard journals there so a crashed run resumes; a worker
+ * that dies mid-shard is replaced and its remaining candidates
+ * reissued automatically either way.
  *   elivagar_cli lint [FILE ...] [--builtin] [--device NAME]
  *                [--replica] [--require-embedding-prefix] [--rules]
  *   elivagar_cli submit|status|cancel|result|watch|health|metrics|
@@ -36,6 +45,7 @@
  * builder template, generated candidate, and catalog device). Exit
  * status 1 when any error-severity diagnostic fires.
  */
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,12 +54,16 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "circuit/builders.hpp"
 #include "circuit/serialize.hpp"
 #include "common/cancel.hpp"
 #include "common/logging.hpp"
+#include "common/retry.hpp"
+#include "core/checkpoint.hpp"
+#include "dist/coordinator.hpp"
 #include "compiler/compile.hpp"
 #include "core/candidate_gen.hpp"
 #include "core/run_report.hpp"
@@ -90,6 +104,20 @@ struct CliOptions
     double deadline_sec = 0.0;
     /** Amplitude precision of the CNR/RepCap proxies ("f64"/"f32"). */
     std::string precision = "f64";
+    /** Local worker processes; > 0 switches to distributed search. */
+    int workers = 0;
+    /** Remote `elivagar_worker --serve` peers to attach (host:port). */
+    std::vector<std::string> attach;
+    /** Worker binary override ("" = next to this binary / $PATH). */
+    std::string worker_bin;
+    /** Shard-journal directory for distributed crash resume. */
+    std::string dist_state;
+    /** Write the full candidate ranking (deterministic, hexfloat). */
+    std::string dump_ranking;
+    /** Stop after the search: skip training/eval (CI byte-compares). */
+    bool search_only = false;
+    /** Test hook: first local worker SIGKILLs itself after N records. */
+    int dist_test_crash = 0;
 };
 
 void
@@ -105,6 +133,26 @@ print_usage()
         "  --scale F          dataset scale in (0,1] (default 0.3)\n"
         "  --threads N        search worker threads (default: all "
         "hardware threads; results are identical for any N)\n"
+        "  --workers N        fan the evaluation out over N local "
+        "worker processes;\n"
+        "                     the merged ranking is bit-identical to "
+        "the\n"
+        "                     single-process search\n"
+        "  --attach H:P       also use a running `elivagar_worker "
+        "--serve` at host H\n"
+        "                     port P (repeatable)\n"
+        "  --worker-bin PATH  worker binary for --workers (default: "
+        "the\n"
+        "                     elivagar_worker next to this binary)\n"
+        "  --dist-state DIR   journal shards in DIR; a crashed "
+        "distributed run\n"
+        "                     re-run with the same DIR resumes\n"
+        "  --dump-ranking F   write the full candidate ranking to F "
+        "(hexfloat,\n"
+        "                     deterministic — byte-comparable)\n"
+        "  --search-only      stop after the search (skip training "
+        "and accuracy\n"
+        "                     evaluation)\n"
         "  --emit text|qasm   print the selected circuit\n"
         "  --checkpoint PATH  journal the search; resumes if PATH "
         "exists\n"
@@ -156,6 +204,22 @@ parse(int argc, char **argv, CliOptions &options)
             options.scale = std::atof(value());
         else if (arg == "--threads")
             options.threads = std::atoi(value());
+        else if (arg == "--workers") {
+            options.workers = std::atoi(value());
+            if (options.workers < 0)
+                elv::fatal("--workers must be >= 0");
+        } else if (arg == "--attach")
+            options.attach.push_back(value());
+        else if (arg == "--worker-bin")
+            options.worker_bin = value();
+        else if (arg == "--dist-state")
+            options.dist_state = value();
+        else if (arg == "--dump-ranking")
+            options.dump_ranking = value();
+        else if (arg == "--search-only")
+            options.search_only = true;
+        else if (arg == "--dist-test-crash")
+            options.dist_test_crash = std::atoi(value());
         else if (arg == "--emit")
             options.emit = value();
         else if (arg == "--checkpoint")
@@ -409,6 +473,33 @@ run_lint(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Deterministic hexfloat ranking dump. Byte-identical for the same
+ * spec at any worker count — the CI dist-smoke job `cmp`s the serial
+ * and distributed files.
+ */
+void
+write_ranking(const std::string &path,
+              const elv::core::SearchResult &found)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        elv::fatal("cannot write " + path);
+    out << "elv-ranking 1\n";
+    for (std::size_t n = 0; n < found.candidates.size(); ++n) {
+        const auto &record = found.candidates[n];
+        out << "cand " << n << " "
+            << elv::core::double_to_hex(record.score) << " "
+            << elv::core::double_to_hex(record.cnr) << " "
+            << elv::core::double_to_hex(record.repcap) << " "
+            << (record.rejected_by_cnr ? 1 : 0) << "\n";
+    }
+    out << "best " << elv::core::double_to_hex(found.best_score)
+        << "\n";
+    out << "survivors " << found.survivors << "\n";
+    out << "executions " << found.total_executions() << "\n";
+}
+
 /** Options for the client subcommands (submit/status/...). */
 struct ClientCliOptions
 {
@@ -435,6 +526,8 @@ print_client_usage()
         "submit options (mirror the one-shot search flags):\n"
         "  --benchmark NAME --device NAME --candidates N --seed N\n"
         "  --scale F --priority N --deadline-sec F --precision f64|f32\n"
+        "  --workers N        run the job's search over N worker "
+        "processes\n"
         "  --watch            stream status until the job finishes\n"
         "events options:\n"
         "  --since S          only events with seq > S (default 0)\n"
@@ -455,35 +548,79 @@ print_response(const std::string &response)
     return ok && ok->as_bool(false);
 }
 
-/** Stream status lines for `id` until it reaches a terminal state. */
+/**
+ * Stream status lines for `id` until it reaches a terminal state.
+ *
+ * A dropped connection (server restart, network blip) is transient:
+ * the watch reconnects with bounded full-jitter backoff and resumes —
+ * the server re-sends the current status on re-watch, so nothing is
+ * missed. Only a server that *refuses* the watch (unknown job) or
+ * `max_attempts` consecutive failed reconnects end the command.
+ */
 int
-watch_until_terminal(elv::srv::Client &client, const std::string &id)
+watch_until_terminal(const std::string &host, std::uint16_t port,
+                     const std::string &id)
 {
-    std::string error;
-    if (!client.send_line(elv::srv::make_watch_request(id), error))
-        elv::fatal("watch failed: " + error);
-    std::string line;
-    if (!client.read_line(line, error)) // the {"ok":...} ack
-        elv::fatal("watch failed: " + error);
-    if (!print_response(line))
-        return 1;
-    while (client.read_line(line, error)) {
-        std::printf("%s\n", line.c_str());
-        std::fflush(stdout);
-        elv::srv::JsonValue value;
-        std::string parse_error;
-        if (!elv::srv::json_parse(line, value, parse_error))
-            continue;
-        const elv::srv::JsonValue *state = value.get("state");
-        if (!state || !state->is_string())
-            continue;
-        const auto parsed =
-            elv::srv::job_state_from_name(state->text);
-        if (parsed && elv::srv::job_state_terminal(*parsed))
-            return *parsed == elv::srv::JobState::Completed ? 0 : 2;
+    elv::RetryPolicy policy;
+    policy.max_attempts = 6;
+    policy.initial_backoff_ms = 200.0;
+    policy.max_backoff_ms = 5000.0;
+    policy.full_jitter = true;
+    elv::Rng rng(0x3a7c0u ^ static_cast<std::uint64_t>(port));
+    int consecutive_failures = 0;
+
+    for (;;) {
+        std::string error;
+        elv::srv::Client client(host, port, error);
+        bool watching = false;
+        if (client.connected() &&
+            client.send_line(elv::srv::make_watch_request(id), error)) {
+            std::string line;
+            if (client.read_line(line, error)) { // the {"ok":...} ack
+                if (!print_response(line))
+                    return 1; // refused: unknown job — not transient
+                watching = true;
+                consecutive_failures = 0;
+                while (client.read_line(line, error)) {
+                    std::printf("%s\n", line.c_str());
+                    std::fflush(stdout);
+                    elv::srv::JsonValue value;
+                    std::string parse_error;
+                    if (!elv::srv::json_parse(line, value, parse_error))
+                        continue;
+                    const elv::srv::JsonValue *state =
+                        value.get("state");
+                    if (!state || !state->is_string())
+                        continue;
+                    const auto parsed =
+                        elv::srv::job_state_from_name(state->text);
+                    if (parsed && elv::srv::job_state_terminal(*parsed))
+                        return *parsed == elv::srv::JobState::Completed
+                                   ? 0
+                                   : 2;
+                }
+            }
+        }
+        ++consecutive_failures;
+        if (consecutive_failures >= policy.max_attempts)
+            elv::fatal("watch: giving up after " +
+                       std::to_string(consecutive_failures) +
+                       " attempts: " +
+                       (error.empty() ? "connection lost" : error));
+        const double delay_ms =
+            policy.backoff_delay_ms(consecutive_failures - 1, rng);
+        std::fprintf(stderr,
+                     "watch: %s (%s); reconnecting in %.0f ms "
+                     "(attempt %d/%d)\n",
+                     watching ? "stream interrupted"
+                              : "connection failed",
+                     error.empty() ? "connection lost" : error.c_str(),
+                     delay_ms, consecutive_failures + 1,
+                     policy.max_attempts);
+        std::this_thread::sleep_for(std::chrono::duration<double,
+                                                          std::milli>(
+            delay_ms));
     }
-    elv::fatal("watch stream ended early: " + error);
-    return 1;
 }
 
 int
@@ -523,6 +660,8 @@ run_client(int argc, char **argv)
             options.spec.deadline_sec = std::atof(value());
         else if (arg == "--precision")
             options.spec.precision = value();
+        else if (arg == "--workers")
+            options.spec.workers = std::atoi(value());
         else if (arg == "--watch")
             options.watch_after = true;
         else if (arg == "--since")
@@ -575,7 +714,9 @@ run_client(int argc, char **argv)
         const srv::JsonValue *id = value.get("id");
         if (!id || !id->is_string())
             return 1;
-        return watch_until_terminal(client, id->text);
+        return watch_until_terminal(
+            options.host, static_cast<std::uint16_t>(options.port),
+            id->text);
     }
     if (op == "status")
         return roundtrip(options.id.empty()
@@ -591,7 +732,9 @@ run_client(int argc, char **argv)
     }
     if (op == "watch") {
         require_id();
-        return watch_until_terminal(client, options.id);
+        return watch_until_terminal(
+            options.host, static_cast<std::uint16_t>(options.port),
+            options.id);
     }
     if (op == "health")
         return roundtrip(srv::make_health_request());
@@ -703,8 +846,44 @@ main(int argc, char **argv)
         if (!options.profile_path.empty())
             obs::Profiler::global().start();
 
-        const auto found =
-            core::elivagar_search(device, bench.train, config);
+        const bool distributed =
+            options.workers > 0 || !options.attach.empty();
+        core::SearchResult found;
+        std::optional<dist::DistStats> dist_stats;
+        if (distributed) {
+            if (options.fault_rate > 0.0)
+                elv::fatal("--fault-rate injects faults into the "
+                           "in-process executor and cannot be "
+                           "combined with --workers/--attach");
+            if (!options.checkpoint.empty())
+                elv::fatal("--checkpoint journals an in-process "
+                           "search; distributed runs journal per "
+                           "shard — use --dist-state DIR");
+            srv::JobSpec spec;
+            spec.benchmark = options.benchmark;
+            spec.device = options.device;
+            spec.candidates = options.candidates;
+            spec.seed = options.seed;
+            spec.scale = options.scale;
+            spec.precision = options.precision;
+            dist::DistConfig dc;
+            dc.workers = options.workers;
+            dc.attach = options.attach;
+            dc.worker_binary = options.worker_bin;
+            dc.threads_per_worker =
+                options.threads <= 0 ? 1 : options.threads;
+            dc.coordinator_threads =
+                options.threads < 0 ? 0 : options.threads;
+            dc.state_dir = options.dist_state;
+            dc.crash_after = options.dist_test_crash;
+            dc.hooks = config.hooks;
+            const dist::DistResult dr =
+                dist::distributed_search(spec, dc);
+            found = dr.result;
+            dist_stats = dr.stats;
+        } else {
+            found = core::elivagar_search(device, bench.train, config);
+        }
         std::printf("search: %d survivors of %d candidates, score "
                     "%.3f, %llu executions%s\n",
                     found.survivors, options.candidates,
@@ -712,6 +891,24 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         found.total_executions()),
                     found.resumed ? " (resumed from checkpoint)" : "");
+        if (dist_stats)
+            std::printf(
+                "dist: %d shard-stage(s) over %d worker(s) "
+                "(%d spawned, %d attached), %llu records streamed, "
+                "%llu resumed, %d reissue(s), %llu local "
+                "fallback(s)\n",
+                dist_stats->shards,
+                options.workers +
+                    static_cast<int>(options.attach.size()),
+                dist_stats->workers_spawned,
+                dist_stats->workers_attached,
+                static_cast<unsigned long long>(
+                    dist_stats->records_received),
+                static_cast<unsigned long long>(
+                    dist_stats->records_resumed),
+                dist_stats->shards_reissued,
+                static_cast<unsigned long long>(
+                    dist_stats->fallback_records));
 
         if (!options.trace_path.empty() &&
             obs::Tracer::global().write(options.trace_path))
@@ -747,6 +944,14 @@ main(int argc, char **argv)
                             static_cast<unsigned long long>(total));
             }
         }
+
+        if (!options.dump_ranking.empty()) {
+            write_ranking(options.dump_ranking, found);
+            std::printf("ranking written to %s\n",
+                        options.dump_ranking.c_str());
+        }
+        if (options.search_only)
+            return 0;
 
         if (config.resilience.enabled)
             std::printf("resilience: %llu faults injected, %llu "
@@ -800,6 +1005,11 @@ main(int argc, char **argv)
                          "completed stages are journaled in %s; "
                          "re-running resumes there\n",
                          options.checkpoint.c_str());
+        if (!options.dist_state.empty())
+            std::fprintf(stderr,
+                         "completed shard stages are journaled in %s; "
+                         "re-running resumes there\n",
+                         options.dist_state.c_str());
         return 3;
     } catch (const UsageError &error) {
         std::fprintf(stderr, "error: %s\n", error.what());

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Evaluation worker of the distributed sharded search (see
+ * src/dist). One process serves one coordinator conversation: it
+ * receives a JobSpec, proves config identity with a fingerprint
+ * handshake, then evaluates the CNR/RepCap stage requests it is sent
+ * and streams (index, scores) records back. All protocol I/O is
+ * line-delimited JSON; logs go to stderr so the protocol stream stays
+ * clean.
+ *
+ * Modes:
+ *   elivagar_worker                    serve stdin/stdout — the
+ *                                      fork/exec transport used by
+ *                                      `elivagar_cli search --workers N`
+ *   elivagar_worker --serve [--host A] [--port N]
+ *                                      accept TCP coordinators (one at
+ *                                      a time) — the `--attach
+ *                                      host:port` transport. Prints
+ *                                      {"ev":"listening","port":N}
+ *                                      once bound; port 0 picks a free
+ *                                      one.
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "dist/worker.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+on_signal(int signum)
+{
+    g_signal = signum;
+}
+
+void
+print_usage()
+{
+    std::printf(
+        "usage: elivagar_worker [options]\n"
+        "  (no options)   serve one coordinator on stdin/stdout\n"
+        "  --serve        accept TCP coordinators instead\n"
+        "  --host A       bind address for --serve (default "
+        "127.0.0.1)\n"
+        "  --port N       bind port for --serve; 0 picks a free one "
+        "(default 0)\n");
+}
+
+/** Read one '\n'-terminated line from `fd` (blocking, buffered). */
+bool
+read_line_fd(int fd, std::string &buffer, std::string &line)
+{
+    for (;;) {
+        const std::size_t newline = buffer.find('\n');
+        if (newline != std::string::npos) {
+            line = buffer.substr(0, newline);
+            buffer.erase(0, newline + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return true;
+        }
+        char chunk[4096];
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR) {
+                if (g_signal != 0)
+                    return false;
+                continue;
+            }
+            return false;
+        }
+        if (n == 0)
+            return false;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+/** Write `line` + '\n' fully to `fd`; false when the peer is gone. */
+bool
+write_line_fd(int fd, const std::string &line)
+{
+    const std::string data = line + "\n";
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + sent, data.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Serve one coordinator conversation over a file-descriptor pair. */
+int
+serve_fds(int in_fd, int out_fd)
+{
+    std::string buffer;
+    elv::dist::WorkerIo io;
+    io.read_line = [in_fd, &buffer](std::string &line) {
+        return read_line_fd(in_fd, buffer, line);
+    };
+    io.write_line = [out_fd](const std::string &line) {
+        return write_line_fd(out_fd, line);
+    };
+    return elv::dist::serve_worker(io);
+}
+
+/** --serve: bind, announce the port, accept coordinators in turn. */
+int
+serve_tcp(const std::string &host, int port)
+{
+    const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0)
+        elv::fatal(std::string("socket: ") + std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        elv::fatal("bad --host address: " + host);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        elv::fatal(std::string("bind: ") + std::strerror(errno));
+    if (::listen(listen_fd, 4) != 0)
+        elv::fatal(std::string("listen: ") + std::strerror(errno));
+    socklen_t addr_len = sizeof(addr);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+                      &addr_len) != 0)
+        elv::fatal(std::string("getsockname: ") +
+                   std::strerror(errno));
+    std::printf("{\"ev\":\"listening\",\"port\":%u}\n",
+                static_cast<unsigned>(ntohs(addr.sin_port)));
+    std::fflush(stdout);
+    while (g_signal == 0) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            elv::warn(std::string("accept: ") + std::strerror(errno));
+            break;
+        }
+        // One coordinator at a time: a worker is a single evaluation
+        // engine, and queued coordinators would only time out slower.
+        const int code = serve_fds(fd, fd);
+        ::close(fd);
+        if (code != 0)
+            elv::warn("worker: conversation abandoned");
+    }
+    ::close(listen_fd);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool serve = false;
+    std::string host = "127.0.0.1";
+    int port = 0;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto value = [&]() -> const char * {
+                if (i + 1 >= argc)
+                    elv::fatal("missing value for " + arg);
+                return argv[++i];
+            };
+            if (arg == "--serve")
+                serve = true;
+            else if (arg == "--host")
+                host = value();
+            else if (arg == "--port")
+                port = std::atoi(value());
+            else if (arg == "--help" || arg == "-h") {
+                print_usage();
+                return 0;
+            } else {
+                elv::fatal("unknown option: " + arg);
+            }
+        }
+        if (port < 0 || port > 65535)
+            elv::fatal("--port out of range");
+
+        // The coordinator closing its end mid-write must surface as a
+        // failed write, not kill the worker with SIGPIPE.
+        std::signal(SIGPIPE, SIG_IGN);
+        std::signal(SIGTERM, on_signal);
+        std::signal(SIGINT, on_signal);
+
+        if (serve)
+            return serve_tcp(host, port);
+        return serve_fds(STDIN_FILENO, STDOUT_FILENO);
+    } catch (const elv::UsageError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        print_usage();
+        return 1;
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

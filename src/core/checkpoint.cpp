@@ -220,10 +220,22 @@ SearchJournal::load()
             return reset_torn_header("bad fingerprint line");
         const std::uint64_t seen =
             std::strtoull(hex.c_str(), nullptr, 16);
-        if (seen != fingerprint_)
-            elv::fatal("journal " + path_ +
-                       " was written by a different search "
-                       "configuration; refusing to resume from it");
+        if (seen != fingerprint_) {
+            char expected[32];
+            std::snprintf(expected, sizeof(expected), "%016llx",
+                          static_cast<unsigned long long>(fingerprint_));
+            std::string message =
+                "journal " + path_ +
+                " was written by a different search configuration "
+                "(stored fingerprint " + hex + ", expected " +
+                expected + "); refusing to resume from it";
+            if (mismatch_hint_) {
+                const std::string guess = mismatch_hint_(seen);
+                if (!guess.empty())
+                    message += "; " + guess;
+            }
+            elv::fatal(message);
+        }
     }
 
     // A crash can tear the record in flight, so a malformed FINAL line

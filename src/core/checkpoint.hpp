@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -69,9 +70,24 @@ class SearchJournal
     /**
      * Load an existing journal. Returns true when entries were
      * recovered; false when the file does not exist yet. fatal() on a
-     * malformed file or a fingerprint mismatch.
+     * malformed file or a fingerprint mismatch; the mismatch message
+     * reports both fingerprints (stored and expected) plus, when a
+     * hint callback is set, which configuration field likely changed.
      */
     bool load();
+
+    /**
+     * Diagnostic callback consulted on a fingerprint mismatch: given
+     * the fingerprint stored in the journal, return a human-readable
+     * guess at which config field changed ("" = no guess). See
+     * fingerprint_mismatch_hint() in search.hpp for the standard
+     * implementation; set before load().
+     */
+    void
+    set_mismatch_hint(std::function<std::string(std::uint64_t)> hint)
+    {
+        mismatch_hint_ = std::move(hint);
+    }
 
     /** Entry for a candidate, or null when nothing is journaled. */
     const CheckpointEntry *entry(int index) const;
@@ -98,6 +114,7 @@ class SearchJournal
     std::uint64_t fingerprint_;
     bool header_written_ = false;
     std::map<int, CheckpointEntry> entries_;
+    std::function<std::string(std::uint64_t)> mismatch_hint_;
 };
 
 /** Exact double <-> text helpers (hexfloat, bit-preserving). */

@@ -137,6 +137,168 @@ config_fingerprint(const ElivagarConfig &config)
     return h;
 }
 
+namespace {
+
+sim::Precision
+flip_precision(sim::Precision precision)
+{
+    return precision == sim::Precision::Float64
+               ? sim::Precision::Float32Proxy
+               : sim::Precision::Float64;
+}
+
+} // namespace
+
+std::string
+fingerprint_mismatch_hint(const ElivagarConfig &config,
+                          std::uint64_t stored)
+{
+    // Single enumerable-field mutations, most likely culprit first
+    // (the CLI's --precision sets CNR and RepCap together, so the
+    // joint flip is the realistic one).
+    struct Probe
+    {
+        const char *what;
+        void (*mutate)(ElivagarConfig &);
+    };
+    static const Probe probes[] = {
+        {"the precision setting changed (--precision f32 vs f64)",
+         [](ElivagarConfig &c) {
+             c.cnr.precision = flip_precision(c.cnr.precision);
+             c.repcap.precision = flip_precision(c.repcap.precision);
+         }},
+        {"the CNR precision changed (f32 vs f64)",
+         [](ElivagarConfig &c) {
+             c.cnr.precision = flip_precision(c.cnr.precision);
+         }},
+        {"the RepCap precision changed (f32 vs f64)",
+         [](ElivagarConfig &c) {
+             c.repcap.precision = flip_precision(c.repcap.precision);
+         }},
+        {"use_cnr was toggled (the RepCap-only ablation)",
+         [](ElivagarConfig &c) { c.use_cnr = !c.use_cnr; }},
+        {"the CNR backend changed (density vs stabilizer)",
+         [](ElivagarConfig &c) {
+             c.cnr.backend = c.cnr.backend == CnrBackend::Density
+                                 ? CnrBackend::Stabilizer
+                                 : CnrBackend::Density;
+         }},
+        {"noise-aware candidate generation was toggled",
+         [](ElivagarConfig &c) {
+             c.candidate.noise_aware = !c.candidate.noise_aware;
+         }},
+    };
+    for (const Probe &probe : probes) {
+        ElivagarConfig mutated = config;
+        probe.mutate(mutated);
+        if (config_fingerprint(mutated) == stored)
+            return std::string("hint: ") + probe.what;
+    }
+    return "";
+}
+
+circ::Circuit
+generate_search_candidate(const dev::Device &device,
+                          const ElivagarConfig &config, std::size_t index)
+{
+    elv::Rng rng(stage_seed(config.seed, 0xe11a, index));
+    return generate_candidate(device, config.candidate, rng);
+}
+
+exec::FaultConfig
+prepare_fault_config(const ElivagarConfig &config)
+{
+    exec::FaultConfig faults = config.resilience.faults;
+    if (config.resilience.enabled && faults.crash_after > 0 &&
+        !faults.crash_clock)
+        faults.crash_clock =
+            std::make_shared<std::atomic<std::uint64_t>>(0);
+    return faults;
+}
+
+CandidateCnr
+evaluate_candidate_cnr(const dev::Device &device,
+                       const circ::Circuit &circuit,
+                       const ElivagarConfig &config,
+                       const exec::FaultConfig &faults, std::size_t index)
+{
+    // The executor (ladder, retry state, fault streams) is seeded per
+    // candidate, so evaluations stay order- and process-independent.
+    std::unique_ptr<exec::ResilientExecutor> executor;
+    CnrOptions options = config.cnr;
+    if (config.resilience.enabled) {
+        executor = std::make_unique<exec::ResilientExecutor>(
+            device, cnr_backend_kind(config.cnr.backend),
+            config.cnr.shots, config.cnr.noise_scale,
+            config.resilience.retry, faults,
+            stage_seed(config.seed, 0xe8ec, index),
+            config.cnr.precision);
+        options.executor = executor.get();
+    }
+    elv::Rng rng(stage_seed(config.seed, 0xc14, index));
+    const CnrResult cnr =
+        clifford_noise_resilience(circuit, device, rng, options);
+    CandidateCnr out;
+    out.cnr = cnr.cnr;
+    out.executions = cnr.circuit_executions;
+    out.degraded = cnr.degraded;
+    out.retries = cnr.retries;
+    if (executor) {
+        out.counters = executor->counters();
+        out.faults = executor->injected();
+        out.wait_ms = executor->elapsed_ms();
+    }
+    return out;
+}
+
+CandidateRepCap
+evaluate_candidate_repcap(const circ::Circuit &circuit,
+                          const qml::Dataset &train,
+                          const ElivagarConfig &config, std::size_t index)
+{
+    elv::Rng rng(stage_seed(config.seed, 0x2e9ca9, index));
+    const RepCapResult rc =
+        representational_capacity(circuit, train, rng, config.repcap);
+    return {rc.repcap, rc.circuit_executions};
+}
+
+void
+apply_cnr_selection(std::vector<CandidateRecord> &candidates,
+                    const ElivagarConfig &config)
+{
+    std::vector<double> cnrs;
+    cnrs.reserve(candidates.size());
+    for (const auto &record : candidates)
+        cnrs.push_back(record.cnr);
+    std::sort(cnrs.begin(), cnrs.end(), std::greater<>());
+    const std::size_t keep_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::floor(config.keep_fraction *
+                          static_cast<double>(candidates.size()))));
+    const double rank_cutoff = cnrs[keep_count - 1];
+    for (auto &record : candidates)
+        record.rejected_by_cnr = record.cnr < config.cnr_threshold ||
+                                 record.cnr < rank_cutoff;
+    // Never reject everything: keep the single most resilient
+    // candidate even when all CNRs fall below the threshold.
+    if (std::all_of(
+            candidates.begin(), candidates.end(),
+            [](const CandidateRecord &r) { return r.rejected_by_cnr; })) {
+        auto best = std::max_element(
+            candidates.begin(), candidates.end(),
+            [](const CandidateRecord &a, const CandidateRecord &b) {
+                return a.cnr < b.cnr;
+            });
+        best->rejected_by_cnr = false;
+    }
+}
+
+double
+composite_score(double cnr, double repcap, const ElivagarConfig &config)
+{
+    return std::pow(std::max(cnr, 0.0), config.alpha_cnr) * repcap;
+}
+
 SearchResult
 elivagar_search(const dev::Device &device, const qml::Dataset &train,
                 const ElivagarConfig &config)
@@ -169,6 +331,9 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
         journal = std::make_unique<SearchJournal>(
             config.resilience.checkpoint_path,
             config_fingerprint(config));
+        journal->set_mismatch_hint([&config](std::uint64_t stored) {
+            return fingerprint_mismatch_hint(config, stored);
+        });
         result.resumed = journal->load();
     }
 
@@ -207,18 +372,7 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
     // order-independent under concurrency. crash_after is the one
     // cross-candidate fault: it means "after N successes across the
     // whole search", so the injectors share one execution clock.
-    exec::FaultConfig faults = config.resilience.faults;
-    if (config.resilience.enabled && faults.crash_after > 0 &&
-        !faults.crash_clock)
-        faults.crash_clock =
-            std::make_shared<std::atomic<std::uint64_t>>(0);
-    auto make_executor = [&](std::size_t n) {
-        return std::make_unique<exec::ResilientExecutor>(
-            device, cnr_backend_kind(config.cnr.backend),
-            config.cnr.shots, config.cnr.noise_scale,
-            config.resilience.retry, faults,
-            stage_seed(config.seed, 0xe8ec, n), config.cnr.precision);
-    };
+    const exec::FaultConfig faults = prepare_fault_config(config);
     // Replays a journaled entry for candidate n, if present. The
     // returned pointer is stable (map node) and its fields are only
     // ever written by candidate n's own task, so reading it outside
@@ -244,9 +398,7 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
                             static_cast<std::int64_t>(n));
             check_cancel("generate");
             auto &record = result.candidates[n];
-            elv::Rng gen_rng(stage_seed(config.seed, 0xe11a, n));
-            record.circuit =
-                generate_candidate(device, config.candidate, gen_rng);
+            record.circuit = generate_search_candidate(device, config, n);
             if (journal) {
                 std::lock_guard<std::mutex> lock(journal_mutex);
                 const CheckpointEntry *entry =
@@ -300,28 +452,19 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
                 task_done("cnr");
                 return;
             }
-            std::unique_ptr<exec::ResilientExecutor> executor;
-            CnrOptions cnr_options = config.cnr;
-            if (config.resilience.enabled) {
-                executor = make_executor(n);
-                cnr_options.executor = executor.get();
-            }
-            elv::Rng cnr_rng(stage_seed(config.seed, 0xc14, n));
-            const CnrResult cnr = clifford_noise_resilience(
-                record.circuit, device, cnr_rng, cnr_options);
+            const CandidateCnr cnr = evaluate_candidate_cnr(
+                device, record.circuit, config, faults, n);
             record.cnr = cnr.cnr;
             record.degraded = cnr.degraded;
             record.retries = cnr.retries;
-            stats[n].executions = cnr.circuit_executions;
-            if (executor) {
-                stats[n].counters = executor->counters();
-                stats[n].faults = executor->injected();
-                stats[n].wait_ms = executor->elapsed_ms();
-            }
+            stats[n].executions = cnr.executions;
+            stats[n].counters = cnr.counters;
+            stats[n].faults = cnr.faults;
+            stats[n].wait_ms = cnr.wait_ms;
             if (journal) {
                 std::lock_guard<std::mutex> lock(journal_mutex);
                 journal->record_cnr(static_cast<int>(n), cnr.cnr,
-                                    cnr.circuit_executions, cnr.degraded,
+                                    cnr.executions, cnr.degraded,
                                     cnr.retries);
             }
             task_done("cnr");
@@ -337,34 +480,7 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
 
         // Step 3: early rejection — below threshold or outside the top
         // keep_fraction.
-        std::vector<double> cnrs;
-        cnrs.reserve(result.candidates.size());
-        for (const auto &record : result.candidates)
-            cnrs.push_back(record.cnr);
-        std::sort(cnrs.begin(), cnrs.end(), std::greater<>());
-        const std::size_t keep_count = std::max<std::size_t>(
-            1, static_cast<std::size_t>(std::floor(
-                   config.keep_fraction *
-                   static_cast<double>(result.candidates.size()))));
-        const double rank_cutoff = cnrs[keep_count - 1];
-        for (auto &record : result.candidates)
-            record.rejected_by_cnr =
-                record.cnr < config.cnr_threshold ||
-                record.cnr < rank_cutoff;
-        // Never reject everything: keep the single most resilient
-        // candidate even when all CNRs fall below the threshold.
-        if (std::all_of(result.candidates.begin(),
-                        result.candidates.end(),
-                        [](const CandidateRecord &r) {
-                            return r.rejected_by_cnr;
-                        })) {
-            auto best = std::max_element(
-                result.candidates.begin(), result.candidates.end(),
-                [](const CandidateRecord &a, const CandidateRecord &b) {
-                    return a.cnr < b.cnr;
-                });
-            best->rejected_by_cnr = false;
-        }
+        apply_cnr_selection(result.candidates, config);
     }
 
     // Step 4: RepCap for the survivors only (per-candidate streams,
@@ -389,15 +505,14 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
                 task_done("repcap");
                 return;
             }
-            elv::Rng rc_rng(stage_seed(config.seed, 0x2e9ca9, n));
-            const RepCapResult rc = representational_capacity(
-                record.circuit, train, rc_rng, config.repcap);
+            const CandidateRepCap rc =
+                evaluate_candidate_repcap(record.circuit, train, config, n);
             record.repcap = rc.repcap;
-            repcap_execs[n] = rc.circuit_executions;
+            repcap_execs[n] = rc.executions;
             if (journal) {
                 std::lock_guard<std::mutex> lock(journal_mutex);
                 journal->record_repcap(static_cast<int>(n), rc.repcap,
-                                       rc.circuit_executions);
+                                       rc.executions);
             }
             task_done("repcap");
         });
@@ -420,9 +535,8 @@ elivagar_search(const dev::Device &device, const qml::Dataset &train,
                 ++result.degraded_candidates;
             if (record.rejected_by_cnr)
                 continue;
-            record.score = std::pow(std::max(record.cnr, 0.0),
-                                    config.alpha_cnr) *
-                           record.repcap;
+            record.score =
+                composite_score(record.cnr, record.repcap, config);
             if (!best || record.score > best->score)
                 best = &record;
             if (journal)

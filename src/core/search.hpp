@@ -217,6 +217,87 @@ struct SearchResult
 std::uint64_t config_fingerprint(const ElivagarConfig &config);
 
 /**
+ * Best-effort guess at which configuration field changed between
+ * `config` and a journal stamped with fingerprint `stored`: single
+ * enumerable-field mutations of `config` (precision flips, use_cnr,
+ * backend, noise awareness) are fingerprinted and the one matching
+ * `stored` is reported. "" when no single-field change explains the
+ * difference. Feed into SearchJournal::set_mismatch_hint so the
+ * refusing-to-resume message names the likely culprit.
+ */
+std::string fingerprint_mismatch_hint(const ElivagarConfig &config,
+                                      std::uint64_t stored);
+
+/** @name Per-candidate stage evaluators
+ * The exact code elivagar_search runs for one candidate, exposed so
+ * out-of-process shard workers (src/dist) compute bit-identical
+ * values: every stage seeds its RNG from (config.seed, stage tag,
+ * candidate index) alone, so evaluation order — and which process
+ * evaluates — never changes a result.
+ * @{ */
+
+/** Step-1 generation of candidate `index` of the pool. */
+circ::Circuit generate_search_candidate(const dev::Device &device,
+                                        const ElivagarConfig &config,
+                                        std::size_t index);
+
+/**
+ * The run-wide fault configuration shared by every CNR evaluation:
+ * with crash_after set, the injectors need one shared execution clock
+ * ("crash after N successes" counts across candidates), so build this
+ * once per run and pass it to each evaluate_candidate_cnr call.
+ */
+exec::FaultConfig prepare_fault_config(const ElivagarConfig &config);
+
+/** One candidate's CNR evaluation: value plus cost accounting. */
+struct CandidateCnr
+{
+    double cnr = 0.0;
+    std::uint64_t executions = 0;
+    bool degraded = false;
+    std::uint64_t retries = 0;
+    /** @name Resilient-executor tallies (zero with resilience off) @{ */
+    elv::RetryCounters counters;
+    exec::FaultCounters faults;
+    double wait_ms = 0.0;
+    /** @} */
+};
+
+/** Step-2 CNR of candidate `index` (circuit from step 1). */
+CandidateCnr evaluate_candidate_cnr(const dev::Device &device,
+                                    const circ::Circuit &circuit,
+                                    const ElivagarConfig &config,
+                                    const exec::FaultConfig &faults,
+                                    std::size_t index);
+
+/** One candidate's RepCap evaluation: value plus cost accounting. */
+struct CandidateRepCap
+{
+    double repcap = 0.0;
+    std::uint64_t executions = 0;
+};
+
+/** Step-4 RepCap of candidate `index`. */
+CandidateRepCap evaluate_candidate_repcap(const circ::Circuit &circuit,
+                                          const qml::Dataset &train,
+                                          const ElivagarConfig &config,
+                                          std::size_t index);
+
+/**
+ * Step-3 rejection over the records' cnr fields: below cnr_threshold
+ * or outside the top keep_fraction by CNR rank. Never rejects
+ * everything — the single most resilient candidate always survives.
+ */
+void apply_cnr_selection(std::vector<CandidateRecord> &candidates,
+                         const ElivagarConfig &config);
+
+/** Step-5 composite score CNR^alpha * RepCap (Eq. 7). */
+double composite_score(double cnr, double repcap,
+                       const ElivagarConfig &config);
+
+/** @} */
+
+/**
  * Run the Elivagar search for the QML task given by `train` on
  * `device`. The returned circuit is hardware-native (physical qubit
  * labels, coupled 2-qubit gates) and untrained; train it with

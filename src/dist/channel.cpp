@@ -1,0 +1,322 @@
+#include "dist/channel.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "server/tcp.hpp"
+
+namespace elv::dist {
+
+namespace {
+
+/** One-time process-wide SIGPIPE suppression: a write to a worker
+ * that just died must surface as EPIPE, not kill the coordinator. */
+void
+ignore_sigpipe()
+{
+    static const bool once = [] {
+        std::signal(SIGPIPE, SIG_IGN);
+        return true;
+    }();
+    (void)once;
+}
+
+/** Write all of `data`; false + errno text on a dead pipe. */
+bool
+write_all(int fd, const std::string &data, std::string &error)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + sent, data.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = std::strerror(errno);
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Read one '\n'-terminated line from `fd` into `line`, buffering the
+ * remainder in `buffer`. The timeout covers the whole line, not just
+ * the first byte — a worker trickling partial output is still a
+ * stalled worker.
+ */
+bool
+read_line_fd(int fd, std::string &buffer, std::string &line,
+             std::string &error, double timeout_sec)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(
+                timeout_sec > 0.0 ? timeout_sec : 0.0));
+    for (;;) {
+        const std::size_t newline = buffer.find('\n');
+        if (newline != std::string::npos) {
+            line = buffer.substr(0, newline);
+            buffer.erase(0, newline + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return true;
+        }
+        int wait_ms = -1;
+        if (timeout_sec > 0.0) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (left <= 0) {
+                error = "timed out waiting for the worker";
+                return false;
+            }
+            wait_ms = static_cast<int>(left);
+        }
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int ready = ::poll(&pfd, 1, wait_ms);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            error = std::strerror(errno);
+            return false;
+        }
+        if (ready == 0) {
+            error = "timed out waiting for the worker";
+            return false;
+        }
+        char chunk[4096];
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = std::strerror(errno);
+            return false;
+        }
+        if (n == 0) {
+            error = "worker closed the connection";
+            return false;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace
+
+ProcessChannel::~ProcessChannel() { close(); }
+
+bool
+ProcessChannel::spawn(const std::string &binary,
+                      const std::vector<std::string> &args,
+                      std::string &error)
+{
+    ignore_sigpipe();
+    // O_CLOEXEC, atomically: a worker forked later must not inherit
+    // this worker's pipe ends — a leaked write end would keep the
+    // coordinator from ever seeing EOF when this worker dies, turning
+    // every crash into a full record-timeout stall. The child's dup2
+    // onto stdin/stdout clears the flag on the two fds it keeps.
+    int to_child[2], from_child[2];
+    if (::pipe2(to_child, O_CLOEXEC) != 0) {
+        error = std::strerror(errno);
+        return false;
+    }
+    if (::pipe2(from_child, O_CLOEXEC) != 0) {
+        error = std::strerror(errno);
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        return false;
+    }
+    const pid_t child = ::fork();
+    if (child < 0) {
+        error = std::strerror(errno);
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        ::close(from_child[1]);
+        return false;
+    }
+    if (child == 0) {
+        // Child: protocol on stdin/stdout, logs on inherited stderr.
+        // Only async-signal-safe calls between fork and exec.
+        ::dup2(to_child[0], STDIN_FILENO);
+        ::dup2(from_child[1], STDOUT_FILENO);
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        ::close(from_child[1]);
+        std::vector<char *> argv;
+        argv.push_back(const_cast<char *>(binary.c_str()));
+        for (const std::string &arg : args)
+            argv.push_back(const_cast<char *>(arg.c_str()));
+        argv.push_back(nullptr);
+        ::execvp(binary.c_str(), argv.data());
+        // Exec failed: the parent sees EOF on the first read and
+        // reports the spawn failure there.
+        ::_exit(127);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    pid_ = child;
+    in_fd_ = to_child[1];
+    out_fd_ = from_child[0];
+    buffer_.clear();
+    return true;
+}
+
+bool
+ProcessChannel::send_line(const std::string &line, std::string &error)
+{
+    if (in_fd_ < 0) {
+        error = "worker process is not running";
+        return false;
+    }
+    return write_all(in_fd_, line + "\n", error);
+}
+
+bool
+ProcessChannel::read_line(std::string &line, std::string &error,
+                          double timeout_sec)
+{
+    if (out_fd_ < 0) {
+        error = "worker process is not running";
+        return false;
+    }
+    return read_line_fd(out_fd_, buffer_, line, error, timeout_sec);
+}
+
+void
+ProcessChannel::close()
+{
+    if (in_fd_ >= 0) {
+        ::close(in_fd_);
+        in_fd_ = -1;
+    }
+    if (out_fd_ >= 0) {
+        ::close(out_fd_);
+        out_fd_ = -1;
+    }
+    if (pid_ > 0) {
+        // Crash-hard teardown: the worker holds no state worth a
+        // graceful drain (journals live on the coordinator side), and
+        // a hung worker would stall the whole run otherwise.
+        ::kill(pid_, SIGKILL);
+        int status = 0;
+        while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+        }
+        pid_ = -1;
+    }
+    buffer_.clear();
+}
+
+std::string
+ProcessChannel::describe() const
+{
+    return pid_ > 0 ? "local worker pid " + std::to_string(pid_)
+                    : "local worker (not running)";
+}
+
+SocketChannel::SocketChannel(std::string host, std::uint16_t port)
+    : host_(std::move(host)), port_(port)
+{
+    ignore_sigpipe();
+    client_ =
+        std::make_unique<srv::Client>(host_, port_, connect_error_);
+    if (!client_->connected())
+        client_.reset();
+}
+
+SocketChannel::~SocketChannel() = default;
+
+bool
+SocketChannel::send_line(const std::string &line, std::string &error)
+{
+    if (!client_) {
+        error = "not connected to " + describe() +
+                (connect_error_.empty() ? "" : ": " + connect_error_);
+        return false;
+    }
+    return client_->send_line(line, error);
+}
+
+bool
+SocketChannel::read_line(std::string &line, std::string &error,
+                         double timeout_sec)
+{
+    if (!client_) {
+        error = "not connected to " + describe() +
+                (connect_error_.empty() ? "" : ": " + connect_error_);
+        return false;
+    }
+    return client_->read_line(line, error, timeout_sec);
+}
+
+void
+SocketChannel::close()
+{
+    client_.reset();
+}
+
+std::string
+SocketChannel::describe() const
+{
+    return host_ + ":" + std::to_string(port_);
+}
+
+bool
+parse_endpoint(const std::string &text, std::string &host,
+               std::uint16_t &port)
+{
+    std::string port_text = text;
+    host = "127.0.0.1";
+    const std::size_t colon = text.rfind(':');
+    if (colon != std::string::npos) {
+        if (colon > 0)
+            host = text.substr(0, colon);
+        port_text = text.substr(colon + 1);
+    }
+    if (port_text.empty())
+        return false;
+    char *end = nullptr;
+    const unsigned long value = std::strtoul(port_text.c_str(), &end, 10);
+    if (end != port_text.c_str() + port_text.size() || value == 0 ||
+        value > 65535)
+        return false;
+    port = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+std::string
+default_worker_binary()
+{
+    if (const char *env = std::getenv("ELV_WORKER_BIN"))
+        if (*env != '\0')
+            return env;
+    std::error_code ec;
+    const std::filesystem::path self =
+        std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (!ec) {
+        const std::filesystem::path sibling =
+            self.parent_path() / "elivagar_worker";
+        if (std::filesystem::exists(sibling, ec) && !ec)
+            return sibling.string();
+    }
+    return "elivagar_worker";
+}
+
+} // namespace elv::dist

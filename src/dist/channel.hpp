@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Worker transports for the distributed search. A WorkerChannel is one
+ * line-oriented conversation with a worker; the coordinator never
+ * cares which kind it holds:
+ *
+ *  - ProcessChannel: fork/exec of the elivagar_worker binary with the
+ *    protocol on the child's stdin/stdout pipes (logs stay on the
+ *    inherited stderr). close() is crash-hard: SIGKILL + reap, which
+ *    is also what the coordinator does to a worker that stopped making
+ *    progress before reissuing its shard.
+ *  - SocketChannel: a TCP connection to `elivagar_worker --serve`
+ *    running on another machine, wrapping the server line-protocol
+ *    client (srv::Client).
+ *
+ * Reads take a timeout everywhere: a worker that neither produces a
+ * record nor fails within the progress deadline is indistinguishable
+ * from a hung one, and the coordinator treats both the same way
+ * (kill, reissue the remainder of the shard).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace elv::srv {
+class Client;
+}
+
+namespace elv::dist {
+
+/** One line-oriented worker conversation (see file comment). */
+class WorkerChannel
+{
+  public:
+    virtual ~WorkerChannel() = default;
+
+    /** Send one protocol line; false + `error` on a dead peer. */
+    virtual bool send_line(const std::string &line,
+                           std::string &error) = 0;
+
+    /**
+     * Read the next line. False on EOF, a dead peer, or after
+     * `timeout_sec` without data (`error` says which); timeout <= 0
+     * blocks indefinitely.
+     */
+    virtual bool read_line(std::string &line, std::string &error,
+                           double timeout_sec) = 0;
+
+    /** Tear the conversation down (idempotent; hard for processes). */
+    virtual void close() = 0;
+
+    /** Human-readable endpoint for diagnostics ("pid 1234", host). */
+    virtual std::string describe() const = 0;
+};
+
+/** Fork/exec'd local worker speaking the protocol over pipes. */
+class ProcessChannel : public WorkerChannel
+{
+  public:
+    ProcessChannel() = default;
+    /** close()s — a still-running child is SIGKILLed and reaped. */
+    ~ProcessChannel() override;
+
+    ProcessChannel(const ProcessChannel &) = delete;
+    ProcessChannel &operator=(const ProcessChannel &) = delete;
+
+    /**
+     * Spawn `binary` with `args` (argv[1..]); stdin/stdout become the
+     * protocol pipes, stderr is inherited. False + `error` when the
+     * binary cannot be executed (detected on the first read/write
+     * since exec failure happens after fork; spawn() itself only
+     * fails on pipe/fork errors).
+     */
+    bool spawn(const std::string &binary,
+               const std::vector<std::string> &args, std::string &error);
+
+    bool send_line(const std::string &line, std::string &error) override;
+    bool read_line(std::string &line, std::string &error,
+                   double timeout_sec) override;
+    void close() override;
+    std::string describe() const override;
+
+    /** Child pid; -1 when not running. */
+    int pid() const { return pid_; }
+
+  private:
+    int pid_ = -1;
+    /** Write end towards the child's stdin. */
+    int in_fd_ = -1;
+    /** Read end of the child's stdout. */
+    int out_fd_ = -1;
+    std::string buffer_;
+};
+
+/** Remote worker attached over TCP (elivagar_worker --serve). */
+class SocketChannel : public WorkerChannel
+{
+  public:
+    /**
+     * Connects immediately; a failed connect leaves the channel dead
+     * (the first send/read reports the stored error).
+     */
+    SocketChannel(std::string host, std::uint16_t port);
+    ~SocketChannel() override;
+
+    bool send_line(const std::string &line, std::string &error) override;
+    bool read_line(std::string &line, std::string &error,
+                   double timeout_sec) override;
+    void close() override;
+    std::string describe() const override;
+
+  private:
+    std::string host_;
+    std::uint16_t port_ = 0;
+    std::string connect_error_;
+    std::unique_ptr<srv::Client> client_;
+};
+
+/**
+ * Parse "host:port" (or ":port" / "port" for loopback). False on a
+ * malformed endpoint.
+ */
+bool parse_endpoint(const std::string &text, std::string &host,
+                    std::uint16_t &port);
+
+/**
+ * The elivagar_worker binary to fork: $ELV_WORKER_BIN when set, else
+ * a sibling of /proc/self/exe named "elivagar_worker" when that
+ * exists, else bare "elivagar_worker" (resolved through PATH).
+ */
+std::string default_worker_binary();
+
+} // namespace elv::dist

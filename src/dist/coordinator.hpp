@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Coordinator of the distributed sharded search.
+ *
+ * The candidate index range is partitioned into contiguous shards, one
+ * per worker (local fork/exec'd elivagar_worker processes and/or
+ * socket-attached peers). Workers evaluate CNR/RepCap with the same
+ * per-candidate seeded streams the in-process search uses and stream
+ * (index, score) records back; the coordinator merges them in
+ * candidate-index order, so the final ranking is bit-identical to
+ * core::elivagar_search at any shard count — proven by the test_dist
+ * gauntlet.
+ *
+ * Two-phase scatter: CNR is global — the keep-fraction cutoff needs
+ * every candidate's value — so phase A fans CNR out and barriers,
+ * the coordinator applies the selection, and phase B fans RepCap out
+ * over the survivors only.
+ *
+ * Crash tolerance: every record received is appended to a per-shard
+ * checkpoint journal (core/checkpoint, config-fingerprinted) on the
+ * coordinator side — a worker crash can never tear one — and the run
+ * manifest records shard assignment/completion. A worker that dies,
+ * stalls past the progress deadline, or returns garbage is killed and
+ * its shard reissued to a fresh worker *minus the records already
+ * journaled*, resuming mid-shard; after max_reissues the remainder is
+ * evaluated in-process (allow_local_fallback) or the run fails with
+ * the worker's diagnostics. Re-running with the same state_dir resumes
+ * the whole run from the journal union, at any worker count.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/search.hpp"
+#include "server/job.hpp"
+
+namespace elv::dist {
+
+/** Fan-out topology + failure policy of one distributed run. */
+struct DistConfig
+{
+    /** Local worker processes to fork (>= 0). */
+    int workers = 1;
+    /** Remote peers ("host:port") attached before local workers. */
+    std::vector<std::string> attach;
+    /** Worker binary to fork; "" = default_worker_binary(). */
+    std::string worker_binary;
+    /** Simulator threads each worker runs with (>= 1). */
+    int threads_per_worker = 1;
+    /** Coordinator threads (generation, fallback; 0 = hardware). */
+    int coordinator_threads = 0;
+    /**
+     * Directory for the shard journals + run manifest; "" disables
+     * persistence (no crash resume across coordinator restarts;
+     * mid-run reissue works regardless).
+     */
+    std::string state_dir;
+    /** Worker spawn/configure handshake deadline (seconds). */
+    double handshake_timeout_sec = 30.0;
+    /**
+     * Progress deadline: a worker producing no record for this long
+     * is treated as hung and its shard reissued (seconds).
+     */
+    double record_timeout_sec = 300.0;
+    /** Reissues per shard before falling back / failing. */
+    int max_reissues = 2;
+    /** Evaluate a shard's remainder in-process as the last resort. */
+    bool allow_local_fallback = true;
+    /**
+     * Test hook forwarded to the first local worker's configure:
+     * SIGKILL itself after emitting this many records (0 = off).
+     * Consumed by the first spawn only — the reissued worker runs
+     * clean, which is exactly the scenario the reissue tests prove.
+     */
+    int crash_after = 0;
+    /** Cancellation + progress, with core/search semantics. */
+    core::SearchHooks hooks;
+};
+
+/** Fan-out accounting of one distributed run. */
+struct DistStats
+{
+    int workers_spawned = 0;
+    int workers_attached = 0;
+    int shards = 0;
+    int shards_reissued = 0;
+    /** Worker failures observed (spawn, handshake, stream, crash). */
+    int worker_failures = 0;
+    /** Records streamed back by workers (journal replays excluded). */
+    std::uint64_t records_received = 0;
+    /** Candidate stages replayed from the state_dir journals. */
+    std::uint64_t records_resumed = 0;
+    /** Candidate stages evaluated in-process as a last resort. */
+    std::uint64_t fallback_records = 0;
+};
+
+/** Distributed search output: the merged result + fan-out stats. */
+struct DistResult
+{
+    core::SearchResult result;
+    DistStats stats;
+};
+
+/**
+ * Contiguous partition of [0, count) into `shards` ranges (as
+ * [begin, end) pairs) whose sizes differ by at most one; the first
+ * count % shards ranges take the extra element. Empty ranges appear
+ * when shards > count.
+ */
+std::vector<std::pair<int, int>> partition_indices(int count,
+                                                   int shards);
+
+/**
+ * Run the distributed search for `spec` (same JobSpec -> config
+ * mapping as the server and the CLI, so results are interchangeable
+ * with a single-process run of the same spec). Throws UsageError on
+ * unusable topology (no workers at all), CancelledError via the
+ * hooks, and propagates evaluation failures when every fallback is
+ * exhausted.
+ */
+DistResult distributed_search(const srv::JobSpec &spec,
+                              const DistConfig &dist);
+
+} // namespace elv::dist

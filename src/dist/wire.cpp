@@ -1,0 +1,294 @@
+#include "dist/wire.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/checkpoint.hpp"
+#include "obs/json.hpp"
+
+namespace elv::dist {
+
+std::string
+fingerprint_to_hex(std::uint64_t fingerprint)
+{
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(fingerprint));
+    return hex;
+}
+
+bool
+fingerprint_from_hex(const std::string &text, std::uint64_t &fingerprint)
+{
+    if (text.size() != 16)
+        return false;
+    char *end = nullptr;
+    fingerprint = std::strtoull(text.c_str(), &end, 16);
+    return end == text.c_str() + 16;
+}
+
+std::string
+make_configure(const srv::JobSpec &spec, int threads,
+               std::uint64_t fingerprint, int crash_after)
+{
+    obs::JsonWriter json;
+    json.begin_object();
+    json.kv("op", "configure");
+    json.kv("protocol", kProtocolVersion);
+    json.key("spec").raw(spec.to_json());
+    json.kv("threads", threads);
+    json.kv("fp", fingerprint_to_hex(fingerprint));
+    json.kv("crash_after", crash_after);
+    json.end_object();
+    return json.str();
+}
+
+std::string
+make_stage_request(const std::string &stage,
+                   const std::vector<int> &indices)
+{
+    obs::JsonWriter json;
+    json.begin_object();
+    json.kv("op", stage);
+    json.key("indices").begin_array();
+    for (int index : indices)
+        json.value(index);
+    json.end_array();
+    json.end_object();
+    return json.str();
+}
+
+std::string
+make_shutdown()
+{
+    return "{\"op\":\"shutdown\"}";
+}
+
+std::string
+make_ready(std::uint64_t fingerprint)
+{
+    obs::JsonWriter json;
+    json.begin_object();
+    json.kv("ev", "ready");
+    json.kv("protocol", kProtocolVersion);
+    json.kv("fp", fingerprint_to_hex(fingerprint));
+    json.end_object();
+    return json.str();
+}
+
+std::string
+make_cnr_record(int index, const core::CandidateCnr &cnr)
+{
+    obs::JsonWriter json;
+    json.begin_object();
+    json.kv("ev", "cnr");
+    json.kv("i", index);
+    json.kv("cnr", core::double_to_hex(cnr.cnr));
+    json.kv("execs", cnr.executions);
+    json.kv("degraded", cnr.degraded);
+    json.kv("retries", cnr.retries);
+    json.end_object();
+    return json.str();
+}
+
+std::string
+make_repcap_record(int index, const core::CandidateRepCap &repcap)
+{
+    obs::JsonWriter json;
+    json.begin_object();
+    json.kv("ev", "repcap");
+    json.kv("i", index);
+    json.kv("repcap", core::double_to_hex(repcap.repcap));
+    json.kv("execs", repcap.executions);
+    json.end_object();
+    return json.str();
+}
+
+std::string
+make_stage_done(const std::string &stage, std::size_t count)
+{
+    obs::JsonWriter json;
+    json.begin_object();
+    json.kv("ev", "done");
+    json.kv("op", stage);
+    json.kv("n", static_cast<std::uint64_t>(count));
+    json.end_object();
+    return json.str();
+}
+
+std::string
+make_error(const std::string &message)
+{
+    obs::JsonWriter json;
+    json.begin_object();
+    json.kv("ev", "error");
+    json.kv("message", message);
+    json.end_object();
+    return json.str();
+}
+
+std::string
+make_bye()
+{
+    return "{\"ev\":\"bye\"}";
+}
+
+namespace {
+
+/** Read a hexfloat-encoded double member; false when absent/bad. */
+bool
+read_hex_double(const srv::JsonValue &value, const char *key, double &out)
+{
+    const srv::JsonValue *member = value.get(key);
+    if (!member || !member->is_string())
+        return false;
+    return core::try_double_from_hex(member->text, out);
+}
+
+} // namespace
+
+bool
+parse_worker_event(const std::string &line, WorkerEvent &out,
+                   std::string &error)
+{
+    srv::JsonValue value;
+    if (!srv::json_parse(line, value, error))
+        return false;
+    const srv::JsonValue *ev = value.get("ev");
+    if (!ev || !ev->is_string()) {
+        error = "worker event without \"ev\"";
+        return false;
+    }
+    out = WorkerEvent{};
+    if (ev->text == "ready") {
+        out.kind = WorkerEvent::Kind::Ready;
+        const srv::JsonValue *protocol = value.get("protocol");
+        if (!protocol ||
+            protocol->as_int(-1) != kProtocolVersion) {
+            error = "worker speaks an incompatible protocol version";
+            return false;
+        }
+        const srv::JsonValue *fp = value.get("fp");
+        if (!fp ||
+            !fingerprint_from_hex(fp->as_string(), out.fingerprint)) {
+            error = "ready event without a valid fingerprint";
+            return false;
+        }
+        return true;
+    }
+    if (ev->text == "cnr") {
+        out.kind = WorkerEvent::Kind::Cnr;
+        const srv::JsonValue *index = value.get("i");
+        if (!index || !index->is_number() ||
+            !read_hex_double(value, "cnr", out.cnr.cnr)) {
+            error = "malformed cnr record";
+            return false;
+        }
+        out.index = static_cast<int>(index->as_int(-1));
+        if (const srv::JsonValue *v = value.get("execs"))
+            out.cnr.executions = v->as_uint(0);
+        if (const srv::JsonValue *v = value.get("degraded"))
+            out.cnr.degraded = v->as_bool(false);
+        if (const srv::JsonValue *v = value.get("retries"))
+            out.cnr.retries = v->as_uint(0);
+        return true;
+    }
+    if (ev->text == "repcap") {
+        out.kind = WorkerEvent::Kind::RepCap;
+        const srv::JsonValue *index = value.get("i");
+        if (!index || !index->is_number() ||
+            !read_hex_double(value, "repcap", out.repcap.repcap)) {
+            error = "malformed repcap record";
+            return false;
+        }
+        out.index = static_cast<int>(index->as_int(-1));
+        if (const srv::JsonValue *v = value.get("execs"))
+            out.repcap.executions = v->as_uint(0);
+        return true;
+    }
+    if (ev->text == "done") {
+        out.kind = WorkerEvent::Kind::Done;
+        out.stage = value.get("op") ? value.get("op")->as_string() : "";
+        out.count = static_cast<std::size_t>(
+            value.get("n") ? value.get("n")->as_uint(0) : 0);
+        return true;
+    }
+    if (ev->text == "error") {
+        out.kind = WorkerEvent::Kind::Error;
+        out.message = value.get("message")
+                          ? value.get("message")->as_string()
+                          : "unspecified worker error";
+        return true;
+    }
+    if (ev->text == "bye") {
+        out.kind = WorkerEvent::Kind::Bye;
+        return true;
+    }
+    error = "unknown worker event \"" + ev->text + "\"";
+    return false;
+}
+
+bool
+parse_coord_request(const std::string &line, CoordRequest &out,
+                    std::string &error)
+{
+    srv::JsonValue value;
+    if (!srv::json_parse(line, value, error))
+        return false;
+    const srv::JsonValue *op = value.get("op");
+    if (!op || !op->is_string()) {
+        error = "request without \"op\"";
+        return false;
+    }
+    out = CoordRequest{};
+    if (op->text == "configure") {
+        out.kind = CoordRequest::Kind::Configure;
+        const srv::JsonValue *protocol = value.get("protocol");
+        if (!protocol || protocol->as_int(-1) != kProtocolVersion) {
+            error = "coordinator speaks an incompatible protocol "
+                    "version";
+            return false;
+        }
+        const srv::JsonValue *spec = value.get("spec");
+        if (!spec || !srv::JobSpec::from_json(*spec, out.spec, error))
+            return false;
+        if (const srv::JsonValue *v = value.get("threads"))
+            out.threads = static_cast<int>(v->as_int(1));
+        const srv::JsonValue *fp = value.get("fp");
+        if (!fp ||
+            !fingerprint_from_hex(fp->as_string(), out.fingerprint)) {
+            error = "configure without a valid fingerprint";
+            return false;
+        }
+        if (const srv::JsonValue *v = value.get("crash_after"))
+            out.crash_after = static_cast<int>(v->as_int(0));
+        return true;
+    }
+    if (op->text == "cnr" || op->text == "repcap") {
+        out.kind = CoordRequest::Kind::Stage;
+        out.stage = op->text;
+        const srv::JsonValue *indices = value.get("indices");
+        if (!indices ||
+            indices->kind != srv::JsonValue::Kind::Array) {
+            error = "stage request without an indices array";
+            return false;
+        }
+        out.indices.reserve(indices->items.size());
+        for (const srv::JsonValue &item : indices->items) {
+            if (!item.is_number()) {
+                error = "non-numeric candidate index";
+                return false;
+            }
+            out.indices.push_back(static_cast<int>(item.as_int(-1)));
+        }
+        return true;
+    }
+    if (op->text == "shutdown") {
+        out.kind = CoordRequest::Kind::Shutdown;
+        return true;
+    }
+    error = "unknown request \"" + op->text + "\"";
+    return false;
+}
+
+} // namespace elv::dist

@@ -53,6 +53,8 @@ JobSpec::check() const
         elv::fatal("job deadline must be non-negative");
     if (!sim::precision_from_name(precision))
         elv::fatal("job precision must be \"f64\" or \"f32\"");
+    if (workers < 0 || workers > 64)
+        elv::fatal("job workers must lie in [0, 64]");
 }
 
 std::string
@@ -68,6 +70,7 @@ JobSpec::to_json() const
     json.kv("priority", priority);
     json.kv("deadline_sec", deadline_sec);
     json.kv("precision", precision);
+    json.kv("workers", workers);
     json.end_object();
     return json.str();
 }
@@ -97,6 +100,8 @@ JobSpec::from_json(const JsonValue &value, JobSpec &out,
         out.deadline_sec = v->as_number(out.deadline_sec);
     if (const JsonValue *v = value.get("precision"))
         out.precision = v->as_string(out.precision);
+    if (const JsonValue *v = value.get("workers"))
+        out.workers = static_cast<int>(v->as_int(out.workers));
     try {
         out.check();
     } catch (const elv::UsageError &e) {

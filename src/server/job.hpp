@@ -80,6 +80,15 @@ struct JobSpec
      * written under one precision does not resume under the other.
      */
     std::string precision = "f64";
+    /**
+     * Distributed fan-out: > 0 runs the search through
+     * dist::distributed_search with this many local worker processes
+     * sharing the job's thread quota; 0 (default) evaluates in-process.
+     * Deliberately outside the config fingerprint — like the thread
+     * quota, it changes how the work is executed, never the result, so
+     * a journaled run resumes under a different worker count.
+     */
+    int workers = 0;
 
     /** Reject out-of-range fields with fatal(). Catalog names are
      * checked separately at admission (they need the catalogs). */

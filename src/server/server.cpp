@@ -12,6 +12,7 @@
 #include "core/checkpoint.hpp"
 #include "core/run_report.hpp"
 #include "device/device.hpp"
+#include "dist/coordinator.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
@@ -561,7 +562,22 @@ Server::run_job(const RecordPtr &rec)
             }
             bump_epoch_locked();
         };
-        result = core::elivagar_search(device, bench.train, config);
+        if (rec->spec.workers > 0) {
+            // Distributed fan-out: shard journals live next to the
+            // job's other artifacts, so an abandoned job resumes its
+            // distributed search exactly like an in-process one
+            // resumes its journal — at any worker count.
+            dist::DistConfig dc;
+            dc.workers = rec->spec.workers;
+            dc.threads_per_worker =
+                std::max(1, rec->thread_quota / rec->spec.workers);
+            dc.coordinator_threads = std::max(1, rec->thread_quota);
+            dc.state_dir = job_path(rec->id, ".dist");
+            dc.hooks = config.hooks;
+            result = dist::distributed_search(rec->spec, dc).result;
+        } else {
+            result = core::elivagar_search(device, bench.train, config);
+        }
         have_result = true;
     } catch (const elv::CancelledError &e) {
         // Deadline expiry and client cancel both land here: the job is

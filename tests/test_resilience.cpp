@@ -306,6 +306,70 @@ TEST(Resilience, JournalFromDifferentConfigIsRejected)
     std::remove(config.resilience.checkpoint_path.c_str());
 }
 
+TEST(Resilience, FingerprintMismatchNamesBothPrintsAndLikelyCulprit)
+{
+    // The refusing-to-resume message must carry enough to debug it
+    // from a log line alone: the stored fingerprint, the expected
+    // one, and — when a single-field change explains the difference —
+    // which knob moved. Precision flips are the realistic culprit.
+    const qml::Benchmark bench = qml::make_benchmark("moons", 10, 0.1);
+    const dev::Device device = dev::make_device("ibm_lagos");
+    ElivagarConfig config = small_search_config(bench.spec.dim);
+    config.resilience.checkpoint_path = journal_path("fp_hint");
+    elivagar_search(device, bench.train, config);
+    const std::uint64_t stored = config_fingerprint(config);
+
+    ElivagarConfig flipped = config;
+    flipped.cnr.precision = sim::Precision::Float32Proxy;
+    flipped.repcap.precision = sim::Precision::Float32Proxy;
+    try {
+        elivagar_search(device, bench.train, flipped);
+        FAIL() << "expected the mismatched journal to be refused";
+    } catch (const UsageError &e) {
+        const std::string what = e.what();
+        char stored_hex[32];
+        std::snprintf(stored_hex, sizeof(stored_hex), "%016llx",
+                      static_cast<unsigned long long>(stored));
+        char expected_hex[32];
+        std::snprintf(expected_hex, sizeof(expected_hex), "%016llx",
+                      static_cast<unsigned long long>(
+                          config_fingerprint(flipped)));
+        EXPECT_NE(what.find(stored_hex), std::string::npos) << what;
+        EXPECT_NE(what.find(expected_hex), std::string::npos) << what;
+        EXPECT_NE(what.find("precision"), std::string::npos) << what;
+    }
+    std::remove(config.resilience.checkpoint_path.c_str());
+}
+
+TEST(Resilience, FingerprintHintCoversSingleFieldMutations)
+{
+    const qml::Benchmark bench = qml::make_benchmark("moons", 10, 0.1);
+    ElivagarConfig config = small_search_config(bench.spec.dim);
+
+    // Joint precision flip (the CLI's --precision).
+    ElivagarConfig mutated = config;
+    mutated.cnr.precision = sim::Precision::Float32Proxy;
+    mutated.repcap.precision = sim::Precision::Float32Proxy;
+    std::string hint = fingerprint_mismatch_hint(
+        config, config_fingerprint(mutated));
+    EXPECT_NE(hint.find("precision"), std::string::npos) << hint;
+
+    // use_cnr toggle (the RepCap-only ablation).
+    mutated = config;
+    mutated.use_cnr = !mutated.use_cnr;
+    hint = fingerprint_mismatch_hint(config,
+                                     config_fingerprint(mutated));
+    EXPECT_NE(hint.find("use_cnr"), std::string::npos) << hint;
+
+    // A multi-field change has no single culprit: no guess offered.
+    mutated = config;
+    mutated.seed += 1;
+    mutated.num_candidates += 1;
+    EXPECT_EQ(fingerprint_mismatch_hint(config,
+                                        config_fingerprint(mutated)),
+              "");
+}
+
 TEST(Resilience, OldJournalVersionDiscardedNotFatal)
 {
     // Regression: a well-formed journal of another format version used
