@@ -126,8 +126,8 @@ main(int argc, char **argv)
             elv_noisy += noisy_acc(elivagar) / repeats;
             qnas_with_nat += nat_acc(qnas) / repeats;
             elv_with_nat += nat_acc(elivagar) / repeats;
-            qnas_with_qtn += qtn_acc(qnas, 31 + rep) / repeats;
-            elv_with_qtn += qtn_acc(elivagar, 63 + rep) / repeats;
+            qnas_with_qtn += qtn_acc(qnas, 31 + static_cast<std::uint64_t>(rep)) / repeats;
+            elv_with_qtn += qtn_acc(elivagar, 63 + static_cast<std::uint64_t>(rep)) / repeats;
         }
 
         nat_table.add_row({cell.benchmark, Table::pct(qnas_noisy),

@@ -86,7 +86,8 @@ main(int argc, char **argv)
             repcaps.push_back(core::representational_capacity(
                                   c, bench.train, rc_rng, options)
                                   .repcap);
-            rc_accs.push_back(trained_accuracy(c, bench, 200 + 10 * n));
+            rc_accs.push_back(trained_accuracy(
+                c, bench, 200 + 10 * static_cast<std::uint64_t>(n)));
         }
     }
 
@@ -110,7 +111,8 @@ main(int argc, char **argv)
                 super.inherited_params(config, trained.shared_params);
             super_losses.push_back(
                 qml::evaluate(c, inherited, bench.train).loss);
-            sc_accs.push_back(trained_accuracy(c, bench, 400 + 10 * n));
+            sc_accs.push_back(trained_accuracy(
+                c, bench, 400 + 10 * static_cast<std::uint64_t>(n)));
         }
     }
 

@@ -81,7 +81,8 @@ main(int argc, char **argv)
                 const auto routed =
                     comp::compile_for_device(raw, device, 3, rng);
                 acc1 += train_and_evaluate(routed.circuit, bench, device,
-                                           options, 60 + 10 * r)
+                                           options,
+                                           60 + 10 * static_cast<std::uint64_t>(r))
                             .noisy_accuracy /
                         reps;
             }
@@ -105,7 +106,7 @@ main(int argc, char **argv)
                 const circ::Circuit c =
                     core::generate_candidate(device, config, rng);
                 acc2 += train_and_evaluate(c, bench, device, options,
-                                           80 + 10 * r)
+                                           80 + 10 * static_cast<std::uint64_t>(r))
                             .noisy_accuracy /
                         reps;
             }

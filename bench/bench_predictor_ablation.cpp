@@ -97,7 +97,8 @@ main(int argc, char **argv)
         expr_neg.push_back(-ex.kl_divergence);
         expr_cost += ex.circuit_executions;
 
-        accs.push_back(trained_accuracy(c, bench, 300 + 10 * n));
+        accs.push_back(trained_accuracy(
+            c, bench, 300 + 10 * static_cast<std::uint64_t>(n)));
     }
 
     Table predictor_table(

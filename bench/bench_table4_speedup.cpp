@@ -91,10 +91,11 @@ main(int argc, char **argv)
             qml::parameter_shift_execution_count_dataset(
                 bench.spec.params, /*epochs=*/200, bench.spec.train,
                 /*batch_size=*/32) +
-            500ULL * static_cast<std::uint64_t>(bench.spec.test);
+            std::uint64_t{500} *
+                static_cast<std::uint64_t>(bench.spec.test);
         const std::uint64_t elv_q =
-            128ULL * 32ULL +
-            64ULL * 512ULL *
+            std::uint64_t{128 * 32} +
+            std::uint64_t{64 * 512} *
                 static_cast<std::uint64_t>(bench.spec.classes);
 
         const double speedup_c =

@@ -36,7 +36,8 @@ process_cpu_seconds()
 #if defined(CLOCK_PROCESS_CPUTIME_ID)
     timespec ts;
     if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0)
-        return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+        return static_cast<double>(ts.tv_sec) +
+               1e-9 * static_cast<double>(ts.tv_nsec);
 #endif
     return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
 }
@@ -532,8 +533,10 @@ run_random(const qml::Benchmark &bench, const dev::Device &device,
             comp::compile_for_device(circuits[i], device, 3, rng);
         const MethodRun one = train_and_evaluate(
             compiled.circuit, bench, device, options, 10 * i);
-        total.noisy_accuracy += one.noisy_accuracy / circuits.size();
-        total.ideal_accuracy += one.ideal_accuracy / circuits.size();
+        total.noisy_accuracy +=
+            one.noisy_accuracy / static_cast<double>(circuits.size());
+        total.ideal_accuracy +=
+            one.ideal_accuracy / static_cast<double>(circuits.size());
         total.stats.gates_1q += one.stats.gates_1q /
                                 static_cast<int>(circuits.size());
         total.stats.gates_2q += one.stats.gates_2q /
@@ -577,8 +580,10 @@ run_human(const qml::Benchmark &bench, const dev::Device &device,
             one = train_and_evaluate(compiled.circuit, bench, device,
                                      options, 20 * i);
         }
-        total.noisy_accuracy += one.noisy_accuracy / circuits.size();
-        total.ideal_accuracy += one.ideal_accuracy / circuits.size();
+        total.noisy_accuracy +=
+            one.noisy_accuracy / static_cast<double>(circuits.size());
+        total.ideal_accuracy +=
+            one.ideal_accuracy / static_cast<double>(circuits.size());
         total.stats.gates_1q += one.stats.gates_1q /
                                 static_cast<int>(circuits.size());
         total.stats.gates_2q += one.stats.gates_2q /

@@ -69,7 +69,9 @@
 #include "core/run_report.hpp"
 #include "core/search.hpp"
 #include "device/device.hpp"
+#include "lint/dataflow.hpp"
 #include "lint/lint.hpp"
+#include "lint/sarif.hpp"
 #include "noise/noise_model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
@@ -118,6 +120,8 @@ struct CliOptions
     bool search_only = false;
     /** Test hook: first local worker SIGKILLs itself after N records. */
     int dist_test_crash = 0;
+    /** Dead-structure pruning in CNR/RepCap scoring and training. */
+    bool prune_dead = false;
 };
 
 void
@@ -162,6 +166,11 @@ print_usage()
         "  --precision P      proxy-scoring precision: f64 (default) "
         "or f32\n"
         "                     (CNR/RepCap only; training stays f64)\n"
+        "  --prune-dead       elide ops outside the measurement "
+        "lightcone\n"
+        "                     during CNR/RepCap scoring and training "
+        "(rankings\n"
+        "                     preserved; fingerprinted)\n"
         "  --fault-rate F     inject transient backend faults with "
         "probability F\n"
         "  --trace FILE       write a Chrome trace of the search "
@@ -228,6 +237,8 @@ parse(int argc, char **argv, CliOptions &options)
             options.deadline_sec = std::atof(value());
         else if (arg == "--precision")
             options.precision = value();
+        else if (arg == "--prune-dead")
+            options.prune_dead = true;
         else if (arg == "--fault-rate")
             options.fault_rate = std::atof(value());
         else if (arg == "--trace")
@@ -266,6 +277,16 @@ struct LintCliOptions
     bool replica = false;
     bool require_embedding_prefix = false;
     std::uint64_t seed = 7;
+    /** Warnings fail the run (after baseline suppression). */
+    bool werror = false;
+    /** Output format: "text", "json" or "sarif". */
+    std::string format = "text";
+    /** Rewrite FILE arguments with dead structure elided. */
+    bool fix = false;
+    /** Baseline file suppressing known findings ("" = none). */
+    std::string baseline_path;
+    /** Write the current findings as a baseline file, then exit. */
+    std::string write_baseline_path;
 };
 
 void
@@ -285,39 +306,56 @@ print_lint_usage()
         "gates\n"
         "  --seed N           seed for --builtin generators (default "
         "7)\n"
+        "  --werror           exit nonzero on warnings too\n"
+        "  --format FMT       output format: text (default), json, "
+        "sarif\n"
+        "  --fix              rewrite FILEs in place with dead "
+        "structure\n"
+        "                     elided (out-of-lightcone ops removed, "
+        "dead\n"
+        "                     parameter slots dropped), then re-lint\n"
+        "  --baseline FILE    suppress findings listed in FILE "
+        "(exit-code\n"
+        "                     counts skip them; SARIF marks them "
+        "suppressed)\n"
+        "  --write-baseline FILE\n"
+        "                     write the current findings to FILE and "
+        "exit 0\n"
         "  --rules            list the rule catalog, then exit\n"
-        "exit status: 1 when any error-severity diagnostic fires\n");
+        "exit status: 1 when any error fires (with --werror: any "
+        "error\n"
+        "or warning) that the baseline does not suppress\n");
 }
 
-/** Print a report under a heading; returns the number of errors. */
-std::size_t
-report_errors(const std::string &subject, const elv::lint::Report &report)
+/** Text rendering of one artifact's report (non-suppressed count). */
+void
+print_artifact_text(const elv::lint::ArtifactReport &entry)
 {
-    const std::size_t errors =
-        report.count(elv::lint::Severity::Error);
-    if (report.diagnostics.empty()) {
-        std::printf("  %-40s clean\n", subject.c_str());
+    using elv::lint::Severity;
+    const std::size_t errors = entry.report.count(Severity::Error);
+    if (entry.report.diagnostics.empty()) {
+        std::printf("  %-40s clean\n", entry.artifact.c_str());
     } else {
         std::printf("  %-40s %zu error(s), %zu warning(s)\n",
-                    subject.c_str(), errors,
-                    report.count(elv::lint::Severity::Warning));
-        std::printf("%s", report.to_string().c_str());
+                    entry.artifact.c_str(), errors,
+                    entry.report.count(Severity::Warning));
+        std::printf("%s", entry.report.to_string().c_str());
     }
-    return errors;
 }
 
 /**
  * Lint everything the library can build: each builder template, the
  * device models, and — per catalog device — generated candidates plus
- * their compiled and fused forms. This is the CI lint-smoke surface.
+ * their compiled and fused forms. This is the CI lint-smoke and
+ * lint-gate surface; results are appended to `reports` and rendered by
+ * the caller in the selected format.
  */
-std::size_t
-lint_builtin(const LintCliOptions &options)
+void
+lint_builtin(const LintCliOptions &options,
+             std::vector<elv::lint::ArtifactReport> &reports)
 {
     using namespace elv;
-    std::size_t errors = 0;
 
-    std::printf("builder templates:\n");
     const circ::EmbeddingScheme schemes[] = {
         circ::EmbeddingScheme::Angle, circ::EmbeddingScheme::IQP,
         circ::EmbeddingScheme::Amplitude};
@@ -330,25 +368,22 @@ lint_builtin(const LintCliOptions &options)
                 : 4;
         const circ::Circuit c = circ::build_human_designed(
             4, features, 12, 2, schemes[static_cast<std::size_t>(s)]);
-        errors += report_errors(
-            std::string("human-designed/") +
-                scheme_names[static_cast<std::size_t>(s)],
-            lint::lint_circuit(c));
+        reports.push_back({std::string("human-designed/") +
+                               scheme_names[static_cast<std::size_t>(s)],
+                           lint::lint_circuit(c)});
     }
     {
         elv::Rng rng(options.seed);
         const circ::Circuit c =
             circ::build_random_rxyz_cz(4, 4, 16, 2, rng);
-        errors += report_errors("random-rxyz-cz", lint::lint_circuit(c));
+        reports.push_back({"random-rxyz-cz", lint::lint_circuit(c)});
     }
 
-    std::printf("device models:\n");
     for (const auto &name : dev::device_catalog()) {
         const dev::Device device = dev::make_device(name);
-        errors += report_errors(name, lint::lint_device(device));
+        reports.push_back({name, lint::lint_device(device)});
     }
 
-    std::printf("generated candidates (per device):\n");
     for (const auto &name : dev::device_catalog()) {
         const dev::Device device = dev::make_device(name);
         elv::Rng rng(options.seed);
@@ -363,9 +398,9 @@ lint_builtin(const LintCliOptions &options)
         for (int i = 0; i < 4; ++i) {
             const circ::Circuit c =
                 core::generate_candidate(device, config, rng);
-            errors += report_errors(
-                name + "/candidate-" + std::to_string(i),
-                lint::lint_circuit(c, device_checked));
+            reports.push_back(
+                {name + "/candidate-" + std::to_string(i),
+                 lint::lint_circuit(c, device_checked)});
         }
         // Device-unaware candidates become device-native through the
         // compiler; the compiled output must satisfy the connectivity
@@ -374,16 +409,15 @@ lint_builtin(const LintCliOptions &options)
             core::generate_device_unaware(config, rng);
         const auto compiled =
             comp::compile_for_device(logical, device, 2, rng);
-        errors += report_errors(
-            name + "/compiled",
-            lint::lint_circuit(compiled.circuit, device_checked));
+        reports.push_back(
+            {name + "/compiled",
+             lint::lint_circuit(compiled.circuit, device_checked)});
         const sim::FusedProgram fused =
             sim::FusedProgram::compile(compiled.circuit);
-        errors += report_errors(
-            name + "/fused",
-            lint::lint_program(fused, compiled.circuit, device_checked));
+        reports.push_back({name + "/fused",
+                           lint::lint_program(fused, compiled.circuit,
+                                              device_checked)});
     }
-    return errors;
 }
 
 int
@@ -410,12 +444,20 @@ run_lint(int argc, char **argv)
         else if (arg == "--seed")
             options.seed = static_cast<std::uint64_t>(
                 std::strtoull(value(), nullptr, 10));
+        else if (arg == "--werror")
+            options.werror = true;
+        else if (arg == "--format")
+            options.format = value();
+        else if (arg == "--fix")
+            options.fix = true;
+        else if (arg == "--baseline")
+            options.baseline_path = value();
+        else if (arg == "--write-baseline")
+            options.write_baseline_path = value();
         else if (arg == "--rules") {
             for (const auto &rule : lint::rule_catalog())
                 std::printf("%-18s %-8s %s\n", rule.id.c_str(),
-                            rule.severity == lint::Severity::Warning
-                                ? "warning"
-                                : "error",
+                            lint::severity_name(rule.severity),
                             rule.summary.c_str());
             return 0;
         } else if (arg == "--help" || arg == "-h") {
@@ -429,6 +471,11 @@ run_lint(int argc, char **argv)
     }
     if (options.files.empty() && !options.builtin)
         elv::fatal("lint needs circuit files or --builtin");
+    if (options.format != "text" && options.format != "json" &&
+        options.format != "sarif")
+        elv::fatal("--format must be text, json or sarif");
+    if (options.fix && options.files.empty())
+        elv::fatal("--fix rewrites circuit files; none given");
 
     std::optional<dev::Device> device;
     lint::LintOptions lint_options;
@@ -440,9 +487,7 @@ run_lint(int argc, char **argv)
     lint_options.require_embedding_prefix =
         options.require_embedding_prefix;
 
-    std::size_t errors = 0;
-    if (!options.files.empty())
-        std::printf("circuit files:\n");
+    std::vector<lint::ArtifactReport> reports;
     for (const auto &path : options.files) {
         std::ifstream in(path);
         if (!in)
@@ -453,24 +498,78 @@ run_lint(int argc, char **argv)
         // measurement, ...) is reported as a parse diagnostic against the
         // file rather than aborting the whole lint run.
         try {
-            const circ::Circuit c = circ::from_text(text.str());
-            errors +=
-                report_errors(path, lint::lint_circuit(c, lint_options));
+            circ::Circuit c = circ::from_text(text.str());
+            if (options.fix) {
+                const lint::FixResult fixed =
+                    lint::elide_dead_structure(c);
+                if (fixed.ops_elided > 0) {
+                    std::ofstream out(path,
+                                      std::ios::out | std::ios::trunc);
+                    if (!out)
+                        elv::fatal("cannot rewrite " + path);
+                    out << circ::to_text(fixed.circuit);
+                    if (options.format == "text")
+                        std::printf("  %-40s fixed: %zu op(s), %zu "
+                                    "param slot(s) elided\n",
+                                    path.c_str(), fixed.ops_elided,
+                                    fixed.params_elided);
+                    c = fixed.circuit;
+                }
+            }
+            reports.push_back(
+                {path, lint::lint_circuit(c, lint_options)});
         } catch (const std::exception &e) {
             lint::Report parse;
             parse.add(lint::Severity::Error, "parse", -1, e.what());
-            errors += report_errors(path, parse);
+            reports.push_back({path, parse});
         }
     }
     if (options.builtin)
-        errors += lint_builtin(options);
+        lint_builtin(options, reports);
 
-    if (errors > 0) {
-        std::printf("lint: %zu error(s)\n", errors);
-        return 1;
+    if (!options.write_baseline_path.empty()) {
+        std::ofstream out(options.write_baseline_path,
+                          std::ios::out | std::ios::trunc);
+        if (!out)
+            elv::fatal("cannot write " + options.write_baseline_path);
+        out << lint::Baseline::render(reports);
+        std::printf("baseline written to %s\n",
+                    options.write_baseline_path.c_str());
+        return 0;
     }
-    std::printf("lint: ok\n");
-    return 0;
+
+    lint::Baseline baseline;
+    const bool have_baseline = !options.baseline_path.empty();
+    if (have_baseline)
+        baseline = lint::Baseline::load(options.baseline_path);
+    const lint::Baseline *suppress =
+        have_baseline ? &baseline : nullptr;
+    const lint::FindingCounts counts =
+        lint::count_findings(reports, suppress);
+
+    if (options.format == "sarif") {
+        std::printf("%s\n", lint::to_sarif(reports, suppress).c_str());
+    } else if (options.format == "json") {
+        std::printf("%s\n", lint::to_json(reports, suppress).c_str());
+    } else {
+        for (const auto &entry : reports)
+            print_artifact_text(entry);
+        if (counts.suppressed > 0)
+            std::printf("lint: %zu finding(s) suppressed by baseline\n",
+                        counts.suppressed);
+    }
+
+    const bool failed =
+        counts.errors > 0 || (options.werror && counts.warnings > 0);
+    if (options.format == "text") {
+        if (failed)
+            std::printf("lint: %zu error(s), %zu warning(s)%s\n",
+                        counts.errors, counts.warnings,
+                        options.werror ? " (werror)" : "");
+        else
+            std::printf("lint: ok\n");
+    }
+    return failed ? 1 : 0;
 }
 
 /**
@@ -821,6 +920,10 @@ main(int argc, char **argv)
             config.cnr.precision = *precision;
             config.repcap.precision = *precision;
         }
+        if (options.prune_dead) {
+            config.cnr.prune_dead_structure = true;
+            config.repcap.prune_dead_structure = true;
+        }
         if (options.deadline_sec > 0.0) {
             // Same cooperative-cancellation machinery the server uses
             // for per-job deadlines; the hooks are not fingerprinted,
@@ -859,6 +962,10 @@ main(int argc, char **argv)
                 elv::fatal("--checkpoint journals an in-process "
                            "search; distributed runs journal per "
                            "shard — use --dist-state DIR");
+            if (options.prune_dead)
+                elv::fatal("--prune-dead is not plumbed through the "
+                           "worker job spec yet; drop --workers/"
+                           "--attach to use it");
             srv::JobSpec spec;
             spec.benchmark = options.benchmark;
             spec.device = options.device;
@@ -968,6 +1075,7 @@ main(int argc, char **argv)
         tc.epochs = options.epochs;
         tc.threads = options.threads < 0 ? 0 : options.threads;
         tc.seed = options.seed + 1;
+        tc.prune_dead_structure = options.prune_dead;
         const auto trained =
             qml::train_circuit(found.best_circuit, bench.train, tc);
 

@@ -42,6 +42,13 @@
  *                        Float32Proxy amplitude policy (gradients
  *                        always run f64; the f32 proxy is for
  *                        ranking-only scoring)
+ *   dead-lightcone    W  ops outside the backward measurement
+ *                        lightcone — traced out of every measured
+ *                        marginal (dataflow.hpp; `lint --fix` elides)
+ *   dead-parameter    W  parameter slots bound only by out-of-cone
+ *                        rotations (zero gradient signal)
+ *   clifford-region   N  const/Clifford prefix/suffix regions,
+ *                        annotated for the stabilizer fast path
  *   fusion-barrier    E  fused programs keep every parametric/embedding
  *                        barrier of their source circuit, in order,
  *                        with matching bindings (lint_program)

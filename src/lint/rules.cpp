@@ -10,6 +10,7 @@
 #include <sstream>
 #include <vector>
 
+#include "lint/dataflow.hpp"
 #include "lint/lint.hpp"
 
 namespace elv::lint {
@@ -417,6 +418,99 @@ rule_precision_misuse(const CircuitView &, const LintOptions &options,
             "scoring path");
 }
 
+/**
+ * dead-lightcone (warnings): ops outside the backward measurement
+ * lightcone — their effects are traced out of every measured marginal,
+ * so the simulators pay full price for provably-invisible structure.
+ * Aggregated into one diagnostic (the autofix and the search-time
+ * pruner elide the ops; see lint/dataflow.hpp). Skipped when nothing
+ * is measured: the measurement rule owns that finding, and an empty
+ * cone would indict every op for the wrong reason.
+ */
+void
+rule_dead_lightcone(const CircuitView &c, const LintOptions &, Report &out)
+{
+    if (c.measured.empty() || c.ops.empty())
+        return;
+    const LightconeAnalysis analysis = analyze_lightcone(c);
+    const std::vector<int> dead = analysis.dead_ops();
+    if (dead.empty())
+        return;
+    std::ostringstream oss;
+    oss << "ops outside the measurement lightcone (traced out, "
+           "simulated for nothing): "
+        << index_list(dead) << "; `lint --fix` elides them";
+    out.add(Severity::Warning, "dead-lightcone", dead[0], oss.str());
+}
+
+/**
+ * dead-parameter (warnings): variational slots whose every binding
+ * rotation lies outside the lightcone — the optimizer moves them, the
+ * parameter-shift bill charges 2 executions per step for them, and the
+ * loss never feels it. Never-bound slots are dead-code's finding; this
+ * rule covers bound-but-invisible ones.
+ */
+void
+rule_dead_parameter(const CircuitView &c, const LintOptions &, Report &out)
+{
+    if (c.measured.empty() || c.num_params <= 0)
+        return;
+    const LightconeAnalysis analysis = analyze_lightcone(c);
+    std::vector<int> bound(
+        static_cast<std::size_t>(c.num_params), 0);
+    for (const Op &op : c.ops) {
+        if (op.role != ParamRole::Variational || op.param_index < 0)
+            continue;
+        for (int k = 0; k < op.num_params(); ++k)
+            if (op.param_index + k < c.num_params)
+                ++bound[static_cast<std::size_t>(op.param_index + k)];
+    }
+    std::vector<int> dead;
+    for (int s = 0; s < c.num_params; ++s)
+        if (bound[static_cast<std::size_t>(s)] > 0 &&
+            !analysis.live_params[static_cast<std::size_t>(s)])
+            dead.push_back(s);
+    if (dead.empty())
+        return;
+    std::ostringstream oss;
+    oss << "parameter slots bound only by out-of-lightcone rotations "
+           "(zero gradient signal): "
+        << index_list(dead);
+    out.add(Severity::Warning, "dead-parameter", -1, oss.str());
+}
+
+/**
+ * clifford-region (notes): const/Clifford structure worth annotating —
+ * a fully fixed-Clifford circuit is exactly replayable on the
+ * stabilizer fast path, and a nonempty Clifford/param-free prefix
+ * marks state a cache could precompute (sim::FusedProgram carries the
+ * compiled-level counterpart in const_prefix_source_ops()).
+ */
+void
+rule_clifford_region(const CircuitView &c, const LintOptions &, Report &out)
+{
+    if (c.ops.empty())
+        return;
+    const CliffordRegions regions = analyze_clifford_regions(c);
+    if (regions.fully_clifford) {
+        std::ostringstream oss;
+        oss << "entire circuit (" << c.ops.size()
+            << " ops) is fixed Clifford: stabilizer-simulable exactly";
+        out.add(Severity::Note, "clifford-region", -1, oss.str());
+        return;
+    }
+    if (regions.clifford_prefix == 0 && regions.clifford_suffix == 0)
+        return;
+    std::ostringstream oss;
+    oss << "const-Clifford region: prefix " << regions.clifford_prefix
+        << " op(s), suffix " << regions.clifford_suffix << " op(s)";
+    if (regions.param_free_prefix > regions.clifford_prefix)
+        oss << "; parameter-free prefix extends to "
+            << regions.param_free_prefix << " op(s)";
+    oss << " (stabilizer fast path / prefix-state cache eligible)";
+    out.add(Severity::Note, "clifford-region", -1, oss.str());
+}
+
 } // namespace
 
 namespace detail {
@@ -455,6 +549,18 @@ register_builtin_rules(Linter &linter)
                           "training/gradient path configured with the "
                           "f32 proxy precision (gradients run f64)"},
                          rule_precision_misuse);
+    linter.register_rule({"dead-lightcone", Severity::Warning,
+                          "ops outside the backward measurement "
+                          "lightcone (traced out; --fix elides)"},
+                         rule_dead_lightcone);
+    linter.register_rule({"dead-parameter", Severity::Warning,
+                          "parameter slots bound only by "
+                          "out-of-lightcone rotations"},
+                         rule_dead_parameter);
+    linter.register_rule({"clifford-region", Severity::Note,
+                          "const/Clifford prefixes and suffixes "
+                          "(stabilizer fast path annotation)"},
+                         rule_clifford_region);
 }
 
 } // namespace detail

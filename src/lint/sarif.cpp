@@ -1,0 +1,252 @@
+#include "lint/sarif.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/runinfo.hpp"
+
+namespace elv::lint {
+
+namespace {
+
+/** JSON string escaping (control characters, quotes, backslashes). */
+std::string
+json_escape(const std::string &text)
+{
+    std::ostringstream oss;
+    for (const char ch : text) {
+        switch (ch) {
+          case '"': oss << "\\\""; break;
+          case '\\': oss << "\\\\"; break;
+          case '\n': oss << "\\n"; break;
+          case '\r': oss << "\\r"; break;
+          case '\t': oss << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                oss << buf;
+            } else {
+                oss << ch;
+            }
+        }
+    }
+    return oss.str();
+}
+
+/** FNV-1a 64-bit over the message text. */
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char ch : text) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** SARIF result level for a severity. */
+const char *
+sarif_level(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "none";
+}
+
+} // namespace
+
+std::string
+diagnostic_fingerprint(const std::string &artifact,
+                       const Diagnostic &diagnostic)
+{
+    std::ostringstream oss;
+    oss << artifact << "|" << diagnostic.rule << "|op"
+        << diagnostic.op_index << "|" << std::hex
+        << fnv1a64(diagnostic.message);
+    return oss.str();
+}
+
+Baseline
+Baseline::parse(const std::string &text)
+{
+    Baseline baseline;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        while (!line.empty() &&
+               (line.back() == '\r' || line.back() == ' '))
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        baseline.entries_.insert(line);
+    }
+    return baseline;
+}
+
+Baseline
+Baseline::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        elv::fatal("cannot open lint baseline " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str());
+}
+
+std::string
+Baseline::render(const std::vector<ArtifactReport> &reports)
+{
+    std::ostringstream oss;
+    oss << "# elvlint baseline: findings suppressed by the lint gate.\n"
+        << "# One fingerprint per line "
+           "(artifact|rule|op<index>|message-hash).\n"
+        << "# Regenerate with: elivagar_cli lint ... --write-baseline "
+           "FILE\n";
+    for (const ArtifactReport &entry : reports)
+        for (const Diagnostic &d : entry.report.diagnostics)
+            oss << diagnostic_fingerprint(entry.artifact, d) << "\n";
+    return oss.str();
+}
+
+bool
+Baseline::contains(const std::string &fingerprint) const
+{
+    return entries_.count(fingerprint) > 0;
+}
+
+FindingCounts
+count_findings(const std::vector<ArtifactReport> &reports,
+               const Baseline *baseline)
+{
+    FindingCounts counts;
+    for (const ArtifactReport &entry : reports) {
+        for (const Diagnostic &d : entry.report.diagnostics) {
+            if (baseline && baseline->contains(diagnostic_fingerprint(
+                                entry.artifact, d))) {
+                ++counts.suppressed;
+                continue;
+            }
+            switch (d.severity) {
+              case Severity::Error: ++counts.errors; break;
+              case Severity::Warning: ++counts.warnings; break;
+              case Severity::Note: ++counts.notes; break;
+            }
+        }
+    }
+    return counts;
+}
+
+std::string
+to_sarif(const std::vector<ArtifactReport> &reports,
+         const Baseline *baseline)
+{
+    std::ostringstream oss;
+    oss << "{\n"
+        << "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n"
+        << "    {\n"
+        << "      \"tool\": {\n"
+        << "        \"driver\": {\n"
+        << "          \"name\": \"elvlint\",\n"
+        << "          \"version\": \"" << json_escape(elv::version_string())
+        << "\",\n"
+        << "          \"informationUri\": "
+           "\"https://github.com/elivagar/elivagar\",\n"
+        << "          \"rules\": [\n";
+    const auto &catalog = rule_catalog();
+    for (std::size_t r = 0; r < catalog.size(); ++r) {
+        oss << "            {\"id\": \"" << json_escape(catalog[r].id)
+            << "\", \"shortDescription\": {\"text\": \""
+            << json_escape(catalog[r].summary)
+            << "\"}, \"defaultConfiguration\": {\"level\": \""
+            << sarif_level(catalog[r].severity) << "\"}}"
+            << (r + 1 < catalog.size() ? "," : "") << "\n";
+    }
+    oss << "          ]\n"
+        << "        }\n"
+        << "      },\n"
+        << "      \"results\": [\n";
+
+    bool first = true;
+    for (const ArtifactReport &entry : reports) {
+        for (const Diagnostic &d : entry.report.diagnostics) {
+            if (!first)
+                oss << ",\n";
+            first = false;
+            const std::string fingerprint =
+                diagnostic_fingerprint(entry.artifact, d);
+            // Native-text circuit files carry a 2-line header before
+            // the op stream, so op i lives on line i + 3.
+            const int line = d.op_index >= 0 ? d.op_index + 3 : 1;
+            oss << "        {\"ruleId\": \"" << json_escape(d.rule)
+                << "\", \"level\": \"" << sarif_level(d.severity)
+                << "\", \"message\": {\"text\": \""
+                << json_escape(d.message)
+                << "\"}, \"locations\": [{\"physicalLocation\": "
+                   "{\"artifactLocation\": {\"uri\": \""
+                << json_escape(entry.artifact)
+                << "\"}, \"region\": {\"startLine\": " << line
+                << "}}}], \"partialFingerprints\": {\"elvlint/v1\": \""
+                << json_escape(fingerprint) << "\"}";
+            if (baseline && baseline->contains(fingerprint))
+                oss << ", \"suppressions\": [{\"kind\": \"external\"}]";
+            oss << "}";
+        }
+    }
+    if (!first)
+        oss << "\n";
+    oss << "      ]\n"
+        << "    }\n"
+        << "  ]\n"
+        << "}\n";
+    return oss.str();
+}
+
+std::string
+to_json(const std::vector<ArtifactReport> &reports,
+        const Baseline *baseline)
+{
+    const FindingCounts counts = count_findings(reports, baseline);
+    std::ostringstream oss;
+    oss << "{\n  \"artifacts\": [\n";
+    for (std::size_t a = 0; a < reports.size(); ++a) {
+        const ArtifactReport &entry = reports[a];
+        oss << "    {\"artifact\": \"" << json_escape(entry.artifact)
+            << "\", \"diagnostics\": [";
+        for (std::size_t i = 0; i < entry.report.diagnostics.size();
+             ++i) {
+            const Diagnostic &d = entry.report.diagnostics[i];
+            const bool suppressed =
+                baseline && baseline->contains(diagnostic_fingerprint(
+                                entry.artifact, d));
+            oss << (i ? ", " : "") << "{\"severity\": \""
+                << severity_name(d.severity) << "\", \"rule\": \""
+                << json_escape(d.rule)
+                << "\", \"op\": " << d.op_index << ", \"message\": \""
+                << json_escape(d.message) << "\", \"suppressed\": "
+                << (suppressed ? "true" : "false") << "}";
+        }
+        oss << "]}" << (a + 1 < reports.size() ? "," : "") << "\n";
+    }
+    oss << "  ],\n"
+        << "  \"errors\": " << counts.errors << ",\n"
+        << "  \"warnings\": " << counts.warnings << ",\n"
+        << "  \"notes\": " << counts.notes << ",\n"
+        << "  \"suppressed\": " << counts.suppressed << "\n"
+        << "}\n";
+    return oss.str();
+}
+
+} // namespace elv::lint

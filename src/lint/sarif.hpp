@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Machine-readable lint output: a SARIF 2.1.0 emitter, a plain JSON
+ * emitter, and the baseline-suppression file that lets CI gate on
+ * *new* findings only.
+ *
+ * SARIF (Static Analysis Results Interchange Format) is what code
+ * hosts and CI dashboards ingest; `elivagar_cli lint --format sarif`
+ * emits one run with the full rule catalog as the tool's rule table
+ * and one result per diagnostic. Findings listed in a baseline file
+ * are still emitted but carry an external suppression (and are
+ * excluded from the exit-code counts), so pre-existing debt does not
+ * fail the `lint-gate` CI job while anything new does.
+ *
+ * Baseline format: one fingerprint per line, `#` comments and blank
+ * lines ignored. A fingerprint is `artifact|rule|op<index>|<hash>`
+ * with `<hash>` the FNV-1a 64-bit hash of the message text in hex —
+ * stable across runs, diff-friendly, and resilient to unrelated
+ * findings moving around.
+ */
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace elv::lint {
+
+/** One linted artifact (file path or builtin subject) + its report. */
+struct ArtifactReport
+{
+    std::string artifact;
+    Report report;
+};
+
+/** Stable identity of one diagnostic within one artifact. */
+std::string diagnostic_fingerprint(const std::string &artifact,
+                                   const Diagnostic &diagnostic);
+
+/** A set of suppressed fingerprints loaded from a baseline file. */
+class Baseline
+{
+  public:
+    /** Parse baseline text (fingerprint lines, `#` comments). */
+    static Baseline parse(const std::string &text);
+
+    /** Read and parse `path`; throws UsageError when unreadable. */
+    static Baseline load(const std::string &path);
+
+    /** Render every current finding as baseline file content. */
+    static std::string render(const std::vector<ArtifactReport> &reports);
+
+    bool contains(const std::string &fingerprint) const;
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::set<std::string> entries_;
+};
+
+/** Findings tally with baseline suppression applied. */
+struct FindingCounts
+{
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::size_t notes = 0;
+    /** Findings excluded from the tallies above by the baseline. */
+    std::size_t suppressed = 0;
+};
+
+FindingCounts count_findings(const std::vector<ArtifactReport> &reports,
+                             const Baseline *baseline);
+
+/**
+ * SARIF 2.1.0 document: one run, driver "elvlint" with the full rule
+ * catalog, one result per diagnostic. Baselined findings carry
+ * `"suppressions": [{"kind": "external"}]`. Regions map op index i of
+ * a native-text circuit file to line i + 3 (the header and qubit
+ * lines precede the ops); artifact-level findings anchor at line 1.
+ */
+std::string to_sarif(const std::vector<ArtifactReport> &reports,
+                     const Baseline *baseline = nullptr);
+
+/** Plain JSON rendering (artifact -> diagnostics, plus the tallies). */
+std::string to_json(const std::vector<ArtifactReport> &reports,
+                    const Baseline *baseline = nullptr);
+
+} // namespace elv::lint

@@ -42,9 +42,14 @@ FusedProgram::compile(const circ::Circuit &circuit)
         return stream[static_cast<std::size_t>(idx)];
     };
 
+    bool in_const_prefix = true;
     for (const circ::Op &op : circuit.ops()) {
         const bool barrier = op.kind == circ::GateKind::AmpEmbed ||
                              op.role != circ::ParamRole::None;
+        if (barrier)
+            in_const_prefix = false;
+        else if (in_const_prefix)
+            ++prog.const_prefix_source_ops_;
         if (barrier) {
             // Angles resolve at run time; keep the IR op and close the
             // touched qubits (all of them for amplitude embedding,
